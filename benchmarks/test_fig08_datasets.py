@@ -1,0 +1,65 @@
+"""Figure 8 (tables a and b): data sets and IE programs.
+
+Regenerates both tables of Figure 8 for our synthetic corpora:
+
+* 8a — per-corpus statistics (pages per snapshot, bytes per snapshot,
+  and the change profile that drives everything else: the DBLife-like
+  corpus stays 96–98 % identical between snapshots, the Wikipedia-like
+  corpus 8–20 %);
+* 8b — the IE programs with their blackbox counts and the
+  whole-program (α, β) the Cyclex baseline uses.
+"""
+
+from conftest import corpus_snapshots, save_table
+
+from repro.corpus import profile_corpus
+from repro.extractors import RULE_TASKS, make_task
+
+
+def build_fig8a():
+    rows = []
+    for kind, pages in (("dblife", 60), ("wikipedia", 40)):
+        snaps = corpus_snapshots(kind, kind, n_snapshots=6, pages=pages)
+        profile = profile_corpus(snaps)
+        rows.append((kind, profile))
+    lines = ["Figure 8a — data sets",
+             f"{'corpus':<12}{'snapshots':>10}{'avg pages':>11}"
+             f"{'avg KB':>9}{'identical':>11}{'shared URL':>11}"]
+    for kind, p in rows:
+        lines.append(f"{kind:<12}{p.snapshots:>10}{p.avg_pages:>11.0f}"
+                     f"{p.avg_bytes / 1024:>9.1f}"
+                     f"{p.avg_fraction_identical:>11.2f}"
+                     f"{p.avg_fraction_with_previous:>11.2f}")
+    return rows, "\n".join(lines) + "\n"
+
+
+def build_fig8b():
+    lines = ["Figure 8b — IE programs",
+             f"{'task':<13}{'corpus':<11}{'blackboxes':>11}"
+             f"{'prog alpha':>11}{'prog beta':>10}"]
+    tasks = []
+    for name in RULE_TASKS + ("infobox",):
+        task = make_task(name, work_scale=0)
+        tasks.append(task)
+        lines.append(f"{name:<13}{task.corpus:<11}"
+                     f"{len(task.blackboxes):>11}"
+                     f"{task.program_alpha:>11}{task.program_beta:>10}")
+    return tasks, "\n".join(lines) + "\n"
+
+
+def test_fig08a_corpus_statistics(benchmark):
+    rows, table = benchmark.pedantic(build_fig8a, rounds=1, iterations=1)
+    save_table("fig08a_datasets.txt", table)
+    stats = dict(rows)
+    assert stats["dblife"].avg_fraction_identical > 0.9
+    assert stats["wikipedia"].avg_fraction_identical < 0.3
+    assert stats["wikipedia"].avg_fraction_with_previous > 0.9
+
+
+def test_fig08b_program_table(benchmark):
+    tasks, table = benchmark.pedantic(build_fig8b, rounds=1, iterations=1)
+    save_table("fig08b_programs.txt", table)
+    counts = {t.name: len(t.blackboxes) for t in tasks}
+    assert counts == {"talk": 1, "chair": 3, "advise": 5,
+                      "blockbuster": 2, "play": 4, "award": 6,
+                      "infobox": 5}

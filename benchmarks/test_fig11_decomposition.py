@@ -1,0 +1,44 @@
+"""Figure 11: runtime decomposition (Match / Extraction / Copy / Opt /
+Others).
+
+Shares the Figure 10 runs. Paper-reported shape: matching and
+extraction dominate; Delex trades extraction time for (much cheaper)
+matching and copying; its optimization and capture overheads stay an
+insignificant share of total runtime.
+"""
+
+import pytest
+
+from conftest import fig10_cache, save_table  # noqa: F401 (fixture)
+
+from repro.extractors import RULE_TASKS
+
+SYSTEMS = ("noreuse", "shortcut", "cyclex", "delex")
+COLUMNS = ("match", "extraction", "copy", "opt", "io", "others", "total")
+
+
+@pytest.mark.parametrize("task_name", RULE_TASKS)
+def test_fig11_decomposition(benchmark, fig10_cache, task_name):
+    reports = benchmark.pedantic(fig10_cache.reports, args=(task_name,),
+                                 rounds=1, iterations=1)
+    lines = [f"Figure 11 — {task_name}: mean per-snapshot decomposition (s)",
+             f"{'system':<10}" + "".join(f"{c:>12}" for c in COLUMNS)]
+    decomp = {}
+    for system in SYSTEMS:
+        row = reports[system].mean_decomposition()
+        decomp[system] = row
+        lines.append(f"{system:<10}" + "".join(
+            f"{row[c]:>12.4f}" for c in COLUMNS))
+    save_table(f"fig11_{task_name}.txt", "\n".join(lines) + "\n")
+
+    # No-reuse is pure extraction.
+    nr = decomp["noreuse"]
+    assert nr["extraction"] > 0.8 * nr["total"]
+    # Delex cuts extraction time sharply vs No-reuse (paper: 37-85 %).
+    dx = decomp["delex"]
+    assert dx["extraction"] < 0.63 * nr["extraction"]
+    # Delex spends more on matching and copying than Shortcut...
+    sc = decomp["shortcut"]
+    assert dx["match"] + dx["copy"] >= sc["match"] + sc["copy"]
+    # ...but its total overhead stays bounded by the extraction saved.
+    assert dx["total"] < nr["total"]

@@ -1,0 +1,63 @@
+"""Corpus-size scaling (extension).
+
+Section 5.2's streaming design promises one sequential pass over the
+corpus and the reuse files per snapshot — cost linear in corpus size,
+with Delex's advantage over from-scratch independent of scale. This
+benchmark doubles the page count twice and checks both properties.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from conftest import save_table
+
+from repro.corpus import wikipedia_corpus
+from repro.core.delex import DelexSystem
+from repro.core.noreuse import NoReuseSystem
+from repro.extractors import make_task
+from repro.plan import compile_program
+
+
+def run_at_scale(pages, tmp_root):
+    task = make_task("play", work_scale=0.3)
+    snaps = list(wikipedia_corpus(n_pages=pages, seed=61).snapshots(3))
+    plan = compile_program(task.program, task.registry)
+    scratch = NoReuseSystem(plan)
+    delex = DelexSystem(task, os.path.join(tmp_root, str(pages)),
+                        sample_size=5)
+    nr = dx = 0.0
+    prev = None
+    for i, snap in enumerate(snaps):
+        nr_result = scratch.process(snap)
+        dx_result = delex.process(snap, prev)
+        if i:
+            nr += nr_result.timings.total
+            dx += dx_result.timings.total
+        prev = snap
+    return {"noreuse": nr, "delex": dx}
+
+
+def test_corpus_size_scaling(benchmark):
+    sizes = (20, 40, 80)
+
+    def sweep():
+        with tempfile.TemporaryDirectory() as tmp_root:
+            return {n: run_at_scale(n, tmp_root) for n in sizes}
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Corpus-size scaling ('play', 2 reuse snapshots)",
+             f"{'pages':>6}{'noreuse':>9}{'delex':>8}{'speedup':>9}"]
+    for n, row in sorted(data.items()):
+        speedup = row["noreuse"] / max(row["delex"], 1e-9)
+        lines.append(f"{n:>6}{row['noreuse']:>9.3f}{row['delex']:>8.3f}"
+                     f"{speedup:>9.1f}")
+    save_table("scaling.txt", "\n".join(lines) + "\n")
+
+    # Near-linear growth: 4x pages costs clearly less than 8x time.
+    assert data[80]["noreuse"] < 8 * data[20]["noreuse"]
+    assert data[80]["delex"] < 8 * max(data[20]["delex"], 1e-3)
+    # The reuse advantage holds at every scale.
+    for n in sizes:
+        assert data[n]["delex"] < data[n]["noreuse"]

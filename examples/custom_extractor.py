@@ -1,0 +1,106 @@
+"""Bring your own blackboxes: author a new IE task end to end.
+
+Shows the full public API surface a downstream user touches:
+
+1. implement extractors (here: a section extractor and a regex
+   extractor with a scalar output) with honest (α, β) declarations;
+2. register them and write an xlog program with an absorbed σ;
+3. compile, inspect IE units and chains;
+4. run the reuse engine with an explicit matcher assignment over two
+   snapshots and confirm the outputs match from-scratch extraction.
+
+Run:  python examples/custom_extractor.py
+"""
+
+import tempfile
+
+from repro import Registry, compile_program, find_units, parse_program, partition_chains
+from repro.core.noreuse import NoReuseSystem
+from repro.core.runner import canonical_results
+from repro.corpus.snapshot import snapshot_from_texts
+from repro.extractors import RegexExtractor, SectionExtractor
+from repro.reuse import PlanAssignment, ReuseEngine
+
+PAGES_DAY_1 = {
+    "http://lab/alerts": (
+        "Lab status board\n"
+        "== Incidents ==\n"
+        "INC-1042 sev2 in storage cluster resolved after 45 minutes.\n"
+        "INC-1043 sev1 in api gateway resolved after 120 minutes.\n"
+        "== Notes ==\nmaintenance window friday\n"),
+    "http://lab/weekly": (
+        "Weekly report\n"
+        "== Incidents ==\n"
+        "INC-0990 sev3 in build farm resolved after 15 minutes.\n"),
+}
+
+# Day 2: one new incident line appears; everything else is unchanged.
+PAGES_DAY_2 = {
+    "http://lab/alerts": PAGES_DAY_1["http://lab/alerts"].replace(
+        "== Notes ==",
+        "INC-1044 sev2 in search tier resolved after 30 minutes.\n"
+        "== Notes =="),
+    "http://lab/weekly": PAGES_DAY_1["http://lab/weekly"],
+}
+
+
+def build_task():
+    registry = Registry()
+    registry.register_extractor(SectionExtractor(
+        "incidentSection", "sec", header="Incidents",
+        scope=4000, context=32))
+    registry.register_extractor(RegexExtractor(
+        "incidentFact",
+        r"(?P<inc>INC-\d+) sev(?P<sev>\d) in (?P<comp>[a-z ]+) resolved "
+        r"after (?P<mins>\d+) minutes",
+        groups={"inc": "inc", "comp": "comp"},
+        scalars={"sev": lambda m: int(m.group("sev")),
+                 "mins": lambda m: int(m.group("mins"))},
+        scope=120, context=8))
+    program = parse_program("""
+        slowSev2(inc, comp) :- docs(d), incidentSection(d, sec),
+            incidentFact(sec, inc, comp, sev, mins),
+            atLeast(mins, 30), atLeast(sev, 2).
+    """, name="incidents")
+    return registry, program
+
+
+def main() -> None:
+    registry, program = build_task()
+    plan = compile_program(program, registry)
+    units = find_units(plan)
+    chains = partition_chains(units)
+    print("IE units:", [u.uid for u in units])
+    print("absorbed operators per unit:",
+          {u.uid: [type(n).__name__ for n in u.absorbed] for u in units})
+    print("IE chains:", chains)
+
+    s1 = snapshot_from_texts(0, PAGES_DAY_1)
+    s2 = snapshot_from_texts(1, PAGES_DAY_2)
+
+    # Assign matchers by hand: suffix-automaton matching at the bottom
+    # unit, recycled by the fact unit via RU.
+    assignment = PlanAssignment({"incidentSection": "ST",
+                                 "incidentFact": "RU"})
+    engine = ReuseEngine(plan, units, assignment)
+    with tempfile.TemporaryDirectory() as td:
+        r1 = engine.run_snapshot(s1, None, None, f"{td}/0")
+        r2 = engine.run_snapshot(s2, s1, f"{td}/0", f"{td}/1")
+
+    print("\nday-2 slow sev>=2 incidents:")
+    for row in sorted(r2.results["slowSev2"]):
+        fields = dict(row)
+        print(f"  {fields['inc'][2]}  ({fields['comp'][2].strip()})")
+
+    copied = sum(s.copied_tuples for s in r2.unit_stats.values())
+    extracted = sum(s.extracted_chars for s in r2.unit_stats.values())
+    print(f"\nreuse on day 2: {copied} tuples copied, "
+          f"{extracted} chars re-extracted")
+
+    fresh = NoReuseSystem(plan).process(s2)
+    assert canonical_results(r2) == canonical_results(fresh)
+    print("matches from-scratch extraction: OK")
+
+
+if __name__ == "__main__":
+    main()

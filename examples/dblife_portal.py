@@ -1,0 +1,61 @@
+"""A DBLife-style community portal refreshed daily.
+
+The motivating scenario of the paper: a portal re-crawls its sources
+every day and re-extracts community facts (talks, conference service,
+advising relationships). Re-running IE from scratch took DBLife 8+
+hours a day; Delex recycles yesterday's results.
+
+This example runs three extraction tasks over six daily snapshots of a
+DBLife-like corpus (96-98 % of pages identical day-over-day), shows the
+matcher plan Delex picks per task, and the runtime decomposition.
+
+Run:  python examples/dblife_portal.py
+"""
+
+import tempfile
+
+from repro import dblife_corpus, make_task
+from repro.core.delex import DelexSystem
+from repro.core.noreuse import NoReuseSystem
+from repro.plan import compile_program
+
+
+def refresh_portal(task_name: str, snapshots, workdir: str) -> None:
+    task = make_task(task_name, work_scale=0.5)
+    plan = compile_program(task.program, task.registry)
+    delex = DelexSystem(task, f"{workdir}/{task_name}")
+    scratch = NoReuseSystem(plan)
+
+    print(f"\n=== task: {task_name} "
+          f"({len(task.blackboxes)} IE blackboxes) ===")
+    prev = None
+    for snapshot in snapshots:
+        fresh = scratch.process(snapshot)
+        result = delex.process(snapshot, prev)
+        label = "bootstrap" if prev is None else "reuse"
+        mentions = result.total_mentions()
+        print(f"  day {snapshot.index}: {label:>9}  "
+              f"delex {result.timings.total:6.3f}s  "
+              f"from-scratch {fresh.timings.total:6.3f}s  "
+              f"({mentions} mentions)")
+        assert {r: frozenset(v) for r, v in result.results.items()} == \
+            {r: frozenset(v) for r, v in fresh.results.items()}
+        prev = snapshot
+    print("  matcher plan:", delex.describe_plan())
+    row = result.timings.as_row()
+    print("  last-day decomposition: "
+          + "  ".join(f"{k}={v:.3f}s" for k, v in row.items()))
+
+
+def main() -> None:
+    corpus = dblife_corpus(n_pages=60, seed=3)
+    snapshots = list(corpus.snapshots(6))
+    sizes = [f"{s.total_bytes() / 1024:.0f}KB" for s in snapshots]
+    print("daily snapshots:", ", ".join(sizes))
+    with tempfile.TemporaryDirectory() as workdir:
+        for task_name in ("talk", "chair", "advise"):
+            refresh_portal(task_name, snapshots, workdir)
+
+
+if __name__ == "__main__":
+    main()

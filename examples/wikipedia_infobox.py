@@ -1,0 +1,63 @@
+"""Learning-based infobox construction over evolving Wikipedia pages.
+
+Reproduces the setting of the paper's Figure 15: a maximum-entropy
+sentence segmenter feeds four linear-chain CRF field extractors that
+build actor infoboxes (name, birth name, birth date, notable roles).
+Wikipedia-like pages change heavily between snapshots, so page-level
+reuse barely helps — but Delex recycles at the IE-unit level, where an
+unchanged sentence means a CRF decode saved.
+
+Run:  python examples/wikipedia_infobox.py
+"""
+
+import tempfile
+from collections import defaultdict
+
+from repro import make_task, wikipedia_corpus
+from repro.core.delex import DelexSystem
+from repro.core.noreuse import NoReuseSystem
+from repro.plan import compile_program
+
+
+def print_infoboxes(results, limit: int = 3) -> None:
+    """Group per-attribute mentions into per-document infoboxes."""
+    boxes = defaultdict(dict)
+    for rel in ("name", "birthName", "birthDate", "roles"):
+        for row in results[rel]:
+            fields = dict(row)
+            did = fields["d"][2][:40].split("\n")[0]
+            boxes[did].setdefault(rel, fields["value"][2])
+    for did, attrs in list(boxes.items())[:limit]:
+        print(f"  page: {did!r}")
+        for rel in ("name", "birthName", "birthDate", "roles"):
+            if rel in attrs:
+                print(f"    {rel:<10} {attrs[rel]}")
+
+
+def main() -> None:
+    corpus = wikipedia_corpus(n_pages=25, seed=17)
+    snapshots = list(corpus.snapshots(4))
+    task = make_task("infobox")
+    print("learning-based program (5 blackboxes: 1 ME + 4 CRFs):")
+    print(task.source)
+
+    plan = compile_program(task.program, task.registry)
+    scratch = NoReuseSystem(plan)
+    with tempfile.TemporaryDirectory() as workdir:
+        delex = DelexSystem(task, workdir)
+        prev = None
+        for snapshot in snapshots:
+            fresh = scratch.process(snapshot)
+            result = delex.process(snapshot, prev)
+            speed = fresh.timings.total / max(result.timings.total, 1e-9)
+            print(f"snapshot {snapshot.index}: delex "
+                  f"{result.timings.total:6.3f}s, from-scratch "
+                  f"{fresh.timings.total:6.3f}s ({speed:.1f}x)")
+            prev = snapshot
+        print("\nmatcher plan per IE unit:", delex.describe_plan())
+        print("\nextracted infoboxes (sample):")
+        print_infoboxes(result.results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — a reproduction of Delex (SIGMOD 2009).
+
+Delex executes complex, multi-blackbox information-extraction programs
+over *evolving* text corpora efficiently by recycling IE results
+captured on previous corpus snapshots.
+
+Quickstart::
+
+    from repro import dblife_corpus, make_task, run_series
+
+    corpus = dblife_corpus(n_pages=40, seed=1)
+    snapshots = list(corpus.snapshots(4))
+    task = make_task("chair")
+    reports = run_series(task, snapshots,
+                         systems=("noreuse", "delex"))
+    for name, report in reports.items():
+        print(name, [f"{s:.2f}s" for s in report.seconds_series()])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from .corpus import (
+    ChangeModel,
+    CorpusStore,
+    EvolvingCorpus,
+    Snapshot,
+    dblife_corpus,
+    profile_corpus,
+    wikipedia_corpus,
+)
+from .core import (
+    CyclexSystem,
+    DelexPipeline,
+    DelexSystem,
+    NoReuseSystem,
+    ShortcutSystem,
+    run_series,
+    run_task_series,
+    verify_agreement,
+)
+from .extractors import ALL_TASKS, RULE_TASKS, IETask, make_task
+from .plan import compile_program, find_units, partition_chains
+from .reuse import FingerprintScope, PlanAssignment, ReuseEngine, SameUrlScope
+from .timing import Timings
+from .xlog import Registry, parse_program, validate_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Snapshot",
+    "CorpusStore",
+    "EvolvingCorpus",
+    "ChangeModel",
+    "dblife_corpus",
+    "wikipedia_corpus",
+    "profile_corpus",
+    "IETask",
+    "make_task",
+    "ALL_TASKS",
+    "RULE_TASKS",
+    "parse_program",
+    "validate_program",
+    "Registry",
+    "compile_program",
+    "find_units",
+    "partition_chains",
+    "ReuseEngine",
+    "PlanAssignment",
+    "SameUrlScope",
+    "FingerprintScope",
+    "DelexSystem",
+    "DelexPipeline",
+    "CyclexSystem",
+    "NoReuseSystem",
+    "ShortcutSystem",
+    "run_series",
+    "run_task_series",
+    "verify_agreement",
+    "Timings",
+    "__version__",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Five subcommands::
+
+    python -m repro tasks                      # list evaluation tasks
+    python -m repro inspect --task play        # program, units, chains
+    python -m repro corpus --kind dblife --pages 60 --snapshots 5 \\
+        --store /tmp/corpus                    # generate + persist corpus
+    python -m repro run --task play --store /tmp/corpus \\
+        --systems noreuse,delex                # run systems, print table
+    python -m repro report                     # aggregate bench tables
+
+The ``run`` command verifies Theorem 1 (all systems produce identical
+results) and prints per-snapshot runtimes plus the mean decomposition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import List, Optional, Sequence
+
+from .corpus import CorpusStore, dblife_corpus, profile_corpus, wikipedia_corpus
+from .core.runner import SYSTEM_NAMES, run_series, verify_agreement
+from .extractors import ALL_TASKS, make_task
+from .plan import compile_program, find_units, partition_chains
+
+
+def _cmd_tasks(args: argparse.Namespace) -> int:
+    print(f"{'task':<13}{'corpus':<11}{'blackboxes':>11}"
+          f"{'prog alpha':>11}{'prog beta':>10}")
+    for name in ALL_TASKS:
+        task = make_task(name, work_scale=0)
+        print(f"{name:<13}{task.corpus:<11}{len(task.blackboxes):>11}"
+              f"{task.program_alpha:>11}{task.program_beta:>10}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    task = make_task(args.task, work_scale=0)
+    print(f"# task: {task.name} ({task.corpus} corpus)")
+    print("\n## xlog program")
+    print(task.source.strip())
+    plan = compile_program(task.program, task.registry)
+    units = find_units(plan)
+    print("\n## IE units (uid, alpha, beta, absorbed operators)")
+    for unit in units:
+        absorbed = [type(n).__name__ for n in unit.absorbed]
+        print(f"  {unit.uid:<22} alpha={unit.alpha:<7} "
+              f"beta={unit.beta:<5} absorbed={absorbed}")
+    print("\n## IE chains")
+    for chain in partition_chains(units):
+        print(f"  {chain}")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    factory = dblife_corpus if args.kind == "dblife" else wikipedia_corpus
+    corpus = factory(n_pages=args.pages, seed=args.seed)
+    store = CorpusStore(args.store)
+    if len(store) > 0:
+        print(f"error: store {args.store} is not empty", file=sys.stderr)
+        return 2
+    snapshots = list(corpus.snapshots(args.snapshots))
+    for snapshot in snapshots:
+        store.append(snapshot)
+    profile = profile_corpus(snapshots)
+    print(f"wrote {len(snapshots)} snapshots to {args.store}")
+    print(f"  avg pages/snapshot : {profile.avg_pages:.0f}")
+    print(f"  avg KB/snapshot    : {profile.avg_bytes / 1024:.1f}")
+    print(f"  fraction identical : {profile.avg_fraction_identical:.2f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    store = CorpusStore(args.store)
+    snapshots = list(store)
+    if len(snapshots) < 2:
+        print("error: need at least 2 snapshots (use the corpus "
+              "subcommand first)", file=sys.stderr)
+        return 2
+    systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
+    unknown = [s for s in systems if s not in SYSTEM_NAMES]
+    if unknown:
+        print(f"error: unknown systems {unknown}; choose from "
+              f"{SYSTEM_NAMES}", file=sys.stderr)
+        return 2
+    task = make_task(args.task, work_scale=args.work_scale)
+    with tempfile.TemporaryDirectory() as workdir:
+        reports = run_series(task, snapshots, systems=systems,
+                             workdir=workdir)
+    problems = verify_agreement(reports) if "noreuse" in systems else []
+    print(f"task {task.name} over {len(snapshots)} snapshots "
+          f"({len(snapshots[0])} pages each)\n")
+    header = "snapshot  " + "".join(f"{s:>10}" for s in systems)
+    print(header)
+    for i in range(len(snapshots)):
+        row = f"{i:>8}  " + "".join(
+            f"{reports[s].snapshots[i].seconds:>10.3f}" for s in systems)
+        print(row)
+    print("   total  " + "".join(
+        f"{reports[s].total_seconds():>10.3f}" for s in systems))
+    print("\nmean decomposition (reuse snapshots):")
+    for s in systems:
+        decomp = reports[s].mean_decomposition()
+        inner = "  ".join(f"{k}={v:.3f}" for k, v in decomp.items())
+        print(f"  {s:<9} {inner}")
+    if "noreuse" in systems:
+        print("\nresult agreement:",
+              "OK" if not problems else f"MISMATCH {problems[:3]}")
+        if problems:
+            return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate the rendered benchmark tables into one report."""
+    import os
+
+    directory = args.results
+    if not os.path.isdir(directory):
+        print(f"error: no results directory {directory} — run "
+              "`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 2
+    names = sorted(n for n in os.listdir(directory)
+                   if n.endswith(".txt"))
+    if not names:
+        print(f"error: no result tables in {directory}", file=sys.stderr)
+        return 2
+    print("# Delex reproduction — benchmark results\n")
+    for name in names:
+        with open(os.path.join(directory, name), encoding="utf-8") as f:
+            body = f.read().rstrip()
+        print(f"## {name}\n")
+        print(body)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Delex (SIGMOD 2009) reproduction — IE over "
+                    "evolving text")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tasks", help="list the evaluation IE tasks")
+
+    inspect = sub.add_parser("inspect",
+                             help="show a task's program/units/chains")
+    inspect.add_argument("--task", required=True, choices=ALL_TASKS)
+
+    corpus = sub.add_parser("corpus", help="generate an evolving corpus")
+    corpus.add_argument("--kind", choices=("dblife", "wikipedia"),
+                        required=True)
+    corpus.add_argument("--pages", type=int, default=60)
+    corpus.add_argument("--snapshots", type=int, default=5)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument("--store", required=True,
+                        help="directory for the corpus store")
+
+    run = sub.add_parser("run", help="run systems over a stored corpus")
+    run.add_argument("--task", required=True, choices=ALL_TASKS)
+    run.add_argument("--store", required=True)
+    run.add_argument("--systems", default="noreuse,delex",
+                     help="comma-separated subset of "
+                          f"{','.join(SYSTEM_NAMES)}")
+    run.add_argument("--work-scale", type=float, default=1.0)
+
+    report = sub.add_parser("report",
+                            help="print all rendered benchmark tables")
+    report.add_argument(
+        "--results",
+        default=os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))),
+            "benchmarks", "results"),
+        help="directory holding benchmarks/results/*.txt")
+
+    return parser
+
+
+_COMMANDS = {
+    "tasks": _cmd_tasks,
+    "inspect": _cmd_inspect,
+    "corpus": _cmd_corpus,
+    "run": _cmd_run,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""The Cyclex baseline: whole-program, single-blackbox reuse.
+
+Cyclex [Chen et al., ICDE-08] treats the entire IE program as one IE
+blackbox with program-level scope/context (α_prog, β_prog). Per page
+it matches the new version against the old one with a single matcher
+(chosen per snapshot by a small cost probe, mirroring the Cyclex
+optimizer), copies final mentions from guaranteed-safe zones, and
+re-runs the whole program over the derived extraction regions.
+
+Because tight program-level α/β are hard to obtain for multi-blackbox
+programs (Section 3), the α_prog of the section-based tasks is page
+scale — extraction regions blow up to nearly the whole page whenever
+anything changed, which is precisely why Delex wins on those tasks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..corpus.snapshot import Snapshot
+from ..matchers.base import DN_NAME, ST_NAME, UD_NAME, MatchCache
+from ..matchers.registry import make_matcher
+from ..plan.compile import CompiledPlan
+from ..reuse.engine import SnapshotRunResult, materialize_rows
+from ..reuse.files import (
+    InputTuple,
+    OutputTuple,
+    ReuseFileReader,
+    ReuseFileWriter,
+    encode_fields,
+)
+from ..reuse.regions import dedupe_extensions, derive_reuse, extraction_keep
+from ..text.document import Page
+from ..text.regions import MatchSegment
+from ..text.span import Interval, Span
+from ..timing import COPY, IO, MATCH, OPT, Timer, Timings
+from .noreuse import run_page_plain
+
+_PROGRAM_ITID = 0
+
+
+class CyclexSystem:
+    """Single-blackbox recycling over the whole IE program."""
+
+    name = "cyclex"
+
+    def __init__(self, plan: CompiledPlan, workdir: str,
+                 program_alpha: int, program_beta: int,
+                 probe_pages: int = 6) -> None:
+        self.plan = plan
+        self.workdir = workdir
+        self.alpha = program_alpha
+        self.beta = program_beta
+        self.probe_pages = probe_pages
+        os.makedirs(workdir, exist_ok=True)
+        self._prev_dir: Optional[str] = None
+        self._snapshot_serial = 0
+        self.last_matcher: Optional[str] = None
+
+    def _result_file(self, directory: str, rel: str) -> str:
+        return os.path.join(directory, f"cyclex_{rel}.O.reuse")
+
+    # -- matcher selection (the Cyclex optimizer, probe-based) ------------
+
+    def _choose_matcher(self, snapshot: Snapshot,
+                        prev_snapshot: Snapshot, timer: Timer) -> str:
+        """Pick DN/UD/ST by probing a few changed page pairs.
+
+        Estimated per-page cost = match time + extraction time scaled
+        by the fraction of the page left uncovered by copy zones.
+        Extraction rate is estimated from one from-scratch page run.
+        """
+        with timer.measure(OPT):
+            # Sample shared pages in page order so the probe sees the
+            # corpus's real identical/changed mix (a changed-only
+            # sample would never credit a matcher for cheap full-page
+            # copies on identical pages).
+            pairs: List[Tuple[Page, Page]] = []
+            for page in snapshot:
+                old = prev_snapshot.get(page.url)
+                if old is not None:
+                    pairs.append((page, old))
+                if len(pairs) >= self.probe_pages:
+                    break
+            if not pairs:
+                return UD_NAME  # nothing shared: matcher never runs
+            # Extraction seconds per character, probed on one page.
+            sample_page = pairs[0][0]
+            start = time.perf_counter()
+            probe_timer = Timer(Timings())
+            run_page_plain(self.plan, sample_page, probe_timer)
+            extract_rate = ((time.perf_counter() - start)
+                            / max(1, len(sample_page.text)))
+            best_name, best_cost = DN_NAME, extract_rate * sum(
+                len(p.text) for p, _ in pairs)
+            for name in (UD_NAME, ST_NAME):
+                matcher = make_matcher(
+                    name, MatchCache(),
+                    min_length=max(8, min(2 * self.beta + 2, 32)))
+                cost = 0.0
+                for page, old in pairs:
+                    t0 = time.perf_counter()
+                    segments = matcher.match(page.text, page.whole,
+                                             old.text, old.whole)
+                    cost += time.perf_counter() - t0
+                    derivation = derive_reuse(
+                        page.whole, page.did,
+                        [MatchSegment(s.p_start, s.q_start, s.length,
+                                      _PROGRAM_ITID) for s in segments],
+                        {_PROGRAM_ITID: InputTuple(_PROGRAM_ITID, old.did,
+                                                   0, len(old.text))},
+                        {}, self.alpha, self.beta)
+                    uncovered = sum(
+                        len(er) for er in derivation.extraction_regions)
+                    cost += extract_rate * uncovered
+                if cost < best_cost:
+                    best_name, best_cost = name, cost
+            return best_name
+
+    # -- snapshot processing ----------------------------------------------
+
+    def process(self, snapshot: Snapshot,
+                prev_snapshot: Optional[Snapshot] = None
+                ) -> SnapshotRunResult:
+        timings = Timings()
+        timer = Timer(timings)
+        relations = self.plan.program.head_relations()
+        out_dir = os.path.join(self.workdir,
+                               f"snap_{self._snapshot_serial:04d}")
+        os.makedirs(out_dir, exist_ok=True)
+        writers = {rel: ReuseFileWriter(self._result_file(out_dir, rel))
+                   for rel in relations}
+        readers: Dict[str, ReuseFileReader] = {}
+        if self._prev_dir is not None and prev_snapshot is not None:
+            for rel in relations:
+                path = self._result_file(self._prev_dir, rel)
+                if os.path.exists(path):
+                    readers[rel] = ReuseFileReader(path)
+        results: Dict[str, list] = {rel: [] for rel in relations}
+        ordered = (snapshot.ordered_like(prev_snapshot)
+                   if prev_snapshot is not None else snapshot)
+        pages_with_prev = 0
+        try:
+            with timer.measure_total():
+                matcher_name = DN_NAME
+                if prev_snapshot is not None and readers:
+                    matcher_name = self._choose_matcher(snapshot,
+                                                        prev_snapshot, timer)
+                self.last_matcher = matcher_name
+                matcher = make_matcher(
+                    matcher_name, MatchCache(),
+                    min_length=max(8, min(2 * self.beta + 2, 32)))
+                for page in ordered:
+                    q_page = (prev_snapshot.get(page.url)
+                              if prev_snapshot is not None else None)
+                    if q_page is not None:
+                        pages_with_prev += 1
+                    for rel in relations:
+                        writers[rel].begin_page(page.did)
+                    if q_page is None or not readers \
+                            or matcher_name == DN_NAME:
+                        if q_page is not None:
+                            self._skip_groups(readers, page.did, timer)
+                        page_rows = run_page_plain(self.plan, page, timer)
+                        self._emit(page, page_rows, writers, results, timer)
+                        continue
+                    self._process_pair(page, q_page, matcher, readers,
+                                       writers, results, timer)
+        finally:
+            for writer in writers.values():
+                writer.close()
+            for reader in readers.values():
+                reader.close()
+        self._prev_dir = out_dir
+        self._snapshot_serial += 1
+        return SnapshotRunResult(results=results, timings=timings,
+                                 pages=len(ordered),
+                                 pages_with_previous=pages_with_prev)
+
+    def _skip_groups(self, readers: Dict[str, ReuseFileReader],
+                     did: str, timer: Timer) -> None:
+        for reader in readers.values():
+            with timer.measure(IO):
+                reader.read_page_outputs(did)
+
+    def _emit(self, page: Page, page_rows: Dict[str, list],
+              writers: Dict[str, ReuseFileWriter],
+              results: Dict[str, list], timer: Timer) -> None:
+        for rel, rows in page_rows.items():
+            with timer.measure(IO):
+                for row in rows:
+                    writers[rel].append_output(page.did, _PROGRAM_ITID,
+                                               encode_fields(row))
+            results[rel].extend(materialize_rows(rows, page.text))
+
+    def _process_pair(self, page: Page, q_page: Page, matcher,
+                      readers: Dict[str, ReuseFileReader],
+                      writers: Dict[str, ReuseFileWriter],
+                      results: Dict[str, list], timer: Timer) -> None:
+        with timer.measure(MATCH):
+            segments = [
+                MatchSegment(s.p_start, s.q_start, s.length, _PROGRAM_ITID)
+                for s in matcher.match(page.text, page.whole,
+                                       q_page.text, q_page.whole)
+            ]
+        q_input = {_PROGRAM_ITID: InputTuple(_PROGRAM_ITID, q_page.did, 0,
+                                             len(q_page.text))}
+        prev_rows: Dict[str, List[OutputTuple]] = {}
+        for rel, reader in readers.items():
+            with timer.measure(IO):
+                prev_rows[rel] = reader.read_page_outputs(page.did)
+        # Shared extraction regions (program-level α/β).
+        with timer.measure(COPY):
+            derivation = derive_reuse(
+                page.whole, page.did, segments, q_input,
+                {}, self.alpha, self.beta)
+        extraction_rows: Dict[str, list] = {rel: [] for rel in readers}
+        for er in derivation.extraction_regions:
+            sub_rows = self._run_region(page, er, timer)
+            for rel, rows in sub_rows.items():
+                for row in rows:
+                    extent = _row_extent(row)
+                    if extraction_keep(extent, er, page.whole, self.beta):
+                        extraction_rows.setdefault(rel, []).append(row)
+        for rel in self.plan.program.head_relations():
+            with timer.measure(COPY):
+                copy_derivation = derive_reuse(
+                    page.whole, page.did, segments, q_input,
+                    {_PROGRAM_ITID: prev_rows.get(rel, [])},
+                    self.alpha, self.beta)
+                rows = dedupe_extensions(
+                    copy_derivation.copied + extraction_rows.get(rel, []))
+            with timer.measure(IO):
+                for row in rows:
+                    writers[rel].append_output(page.did, _PROGRAM_ITID,
+                                               encode_fields(row))
+            results[rel].extend(materialize_rows(rows, page.text))
+
+    def _run_region(self, page: Page, er: Interval,
+                    timer: Timer) -> Dict[str, list]:
+        """Run the whole program over one extraction region."""
+        sub_page = Page(did=page.did, url=page.url,
+                        text=page.text[er.start:er.end])
+        sub_rows = run_page_plain(self.plan, sub_page, timer)
+        shifted: Dict[str, list] = {}
+        for rel, rows in sub_rows.items():
+            shifted[rel] = [_shift_row(row, er.start) for row in rows]
+        return shifted
+
+
+def _shift_row(row: dict, delta: int) -> dict:
+    out = {}
+    for var, value in row.items():
+        if isinstance(value, Span):
+            out[var] = Span(value.did, value.start + delta,
+                            value.end + delta)
+        else:
+            out[var] = value
+    return out
+
+
+def _row_extent(row: dict) -> Optional[Tuple[int, int]]:
+    spans = [v for v in row.values() if isinstance(v, Span)]
+    if not spans:
+        return None
+    return (min(s.start for s in spans), max(s.end for s in spans))

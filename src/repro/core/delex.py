@@ -1,0 +1,152 @@
+"""The end-to-end Delex system (Section 7).
+
+Given an IE task (xlog program + registry + declarations), Delex:
+
+1. compiles the program into an execution tree and identifies its IE
+   units and chains;
+2. per snapshot, estimates cost-model statistics from a small page
+   sample and the last ``k`` snapshots, then runs Algorithm 1 to assign
+   a matcher to every IE unit;
+3. executes the so-augmented tree with the reuse engine, recycling the
+   previous snapshot's capture files and writing capture for the next.
+
+The first snapshot is a bootstrap: plain execution plus capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..corpus.snapshot import Snapshot
+from ..extractors.library import IETask
+from ..optimizer.search import SearchResult, search_plan
+from ..optimizer.stats import collect_statistics
+from ..plan.compile import CompiledPlan, compile_program
+from ..plan.units import IEChain, IEUnit, find_units, partition_chains
+from ..reuse.engine import PlanAssignment, ReuseEngine, SnapshotRunResult
+from ..reuse.scope import PageMatchScope
+from ..timing import OPT, Timer, Timings
+
+
+class DelexSystem:
+    """Multi-blackbox IE over evolving text with unit-level recycling."""
+
+    name = "delex"
+
+    def __init__(self, task: IETask, workdir: str,
+                 sample_size: int = 8, k_snapshots: int = 3,
+                 fixed_assignment: Optional[PlanAssignment] = None,
+                 capture_history: int = 2,
+                 scope: Optional["PageMatchScope"] = None) -> None:
+        self.task = task
+        self.workdir = workdir
+        os.makedirs(workdir, exist_ok=True)
+        self.plan: CompiledPlan = compile_program(task.program,
+                                                  task.registry)
+        self.units: List[IEUnit] = find_units(self.plan)
+        self.chains: List[IEChain] = partition_chains(self.units)
+        self.sample_size = sample_size
+        self.k_snapshots = k_snapshots
+        self.fixed_assignment = fixed_assignment
+        self.scope = scope
+        self.capture_history = max(1, capture_history)
+        self._history: List[Snapshot] = []
+        self._prev_dir: Optional[str] = None
+        self._snapshot_serial = 0
+        self.last_search: Optional[SearchResult] = None
+        self.last_assignment: Optional[PlanAssignment] = None
+        self._last_result: Optional[SnapshotRunResult] = None
+        self._extract_rates: Dict[str, float] = {}
+
+    def _out_dir(self) -> str:
+        return os.path.join(self.workdir,
+                            f"snap_{self._snapshot_serial:04d}")
+
+    def resume(self, history: List[Snapshot], prev_dir: Optional[str],
+               serial: int) -> None:
+        """Restore state after a process restart.
+
+        ``history`` lists the most recently processed snapshots, oldest
+        first (at least the last one); ``prev_dir`` is the capture
+        directory written for the last processed snapshot; ``serial``
+        is the next capture serial to use. Used by
+        :class:`~repro.core.pipeline.DelexPipeline`.
+        """
+        if serial < 0:
+            raise ValueError("serial must be >= 0")
+        if prev_dir is not None and not os.path.isdir(prev_dir):
+            raise ValueError(f"capture directory {prev_dir!r} missing")
+        self._history = list(history)
+        self._prev_dir = prev_dir
+        self._snapshot_serial = serial
+        self._last_result = None
+
+    def process(self, snapshot: Snapshot,
+                prev_snapshot: Optional[Snapshot] = None
+                ) -> SnapshotRunResult:
+        """Process one snapshot; call with consecutive snapshots.
+
+        ``prev_snapshot`` is accepted for interface symmetry with the
+        baselines but Delex tracks its own history; when provided it
+        must be the snapshot Delex saw last.
+        """
+        if prev_snapshot is not None and self._history:
+            if prev_snapshot.index != self._history[-1].index:
+                raise ValueError("prev_snapshot is not the last snapshot "
+                                 "processed by this DelexSystem")
+        timings = Timings()
+        timer = Timer(timings)
+        if not self._history or self._prev_dir is None:
+            assignment = (self.fixed_assignment
+                          or PlanAssignment.all_dn(self.units))
+        elif self.fixed_assignment is not None:
+            assignment = self.fixed_assignment
+        else:
+            with timer.measure_total():
+                with timer.measure(OPT):
+                    prev_stats = (self._last_result.unit_stats
+                                  if self._last_result is not None else None)
+                    stats = collect_statistics(
+                        self.plan, self.units, snapshot, self._history,
+                        sample_size=self.sample_size,
+                        k_snapshots=self.k_snapshots,
+                        max_match_pairs=min(self.sample_size, 3),
+                        prev_capture_dir=self._prev_dir,
+                        prev_unit_stats=prev_stats,
+                        known_extract_rates=self._extract_rates)
+                    self.last_search = search_plan(self.units, stats,
+                                                   self.chains)
+                    assignment = self.last_search.assignment
+        self.last_assignment = assignment
+        engine = ReuseEngine(self.plan, self.units, assignment,
+                             scope=self.scope)
+        out_dir = self._out_dir()
+        result = engine.run_snapshot(
+            snapshot,
+            self._history[-1] if self._history else None,
+            self._prev_dir, out_dir, timings=timings)
+        self._last_result = result
+        self._gc_old_capture()
+        self._prev_dir = out_dir
+        self._snapshot_serial += 1
+        self._history.append(snapshot)
+        if len(self._history) > max(self.k_snapshots + 1, 4):
+            self._history.pop(0)
+        return result
+
+    def _gc_old_capture(self) -> None:
+        """Drop capture directories older than ``capture_history``."""
+        keep_from = self._snapshot_serial - self.capture_history
+        for serial in range(max(0, keep_from)):
+            directory = os.path.join(self.workdir, f"snap_{serial:04d}")
+            if os.path.isdir(directory):
+                for name in os.listdir(directory):
+                    os.unlink(os.path.join(directory, name))
+                os.rmdir(directory)
+
+    def describe_plan(self) -> Dict[str, str]:
+        """The matcher assignment used for the last snapshot."""
+        if self.last_assignment is None:
+            return {}
+        return dict(self.last_assignment.matchers)

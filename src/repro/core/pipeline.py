@@ -1,0 +1,135 @@
+"""A durable Delex deployment bound to a corpus store.
+
+:class:`DelexPipeline` is what a production user of the library runs:
+snapshots live in a :class:`~repro.corpus.store.CorpusStore`, the
+Delex capture files and a small manifest live next to them, and the
+extracted relations of every processed snapshot are persisted as JSON.
+A pipeline object can be dropped and reconstructed at any time — it
+resumes from the manifest, recycling the last processed snapshot's
+capture files exactly as if the process had never stopped.
+
+Typical use::
+
+    store = CorpusStore("/data/crawl")
+    pipeline = DelexPipeline(store, make_task("play"))
+    pipeline.catch_up()              # process any unprocessed snapshots
+    ...
+    pipeline.ingest(new_snapshot)    # crawl arrives: store + extract
+    mentions = pipeline.load_results(store.latest_index)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..corpus.snapshot import Snapshot
+from ..corpus.store import CorpusStore
+from ..extractors.library import IETask
+from ..reuse.engine import SnapshotRunResult
+from .delex import DelexSystem
+
+_MANIFEST = "pipeline.json"
+
+
+class DelexPipeline:
+    """Store-backed, restart-safe Delex processing."""
+
+    def __init__(self, store: CorpusStore, task: IETask,
+                 **system_kwargs) -> None:
+        self.store = store
+        self.task = task
+        self.workdir = os.path.join(store.root, "reuse",
+                                    f"delex_{task.name}")
+        os.makedirs(self.workdir, exist_ok=True)
+        self.system = DelexSystem(task, self.workdir, **system_kwargs)
+        self.processed_index: Optional[int] = None
+        self._load_manifest()
+
+    # -- persistence -------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.workdir, _MANIFEST)
+
+    def _load_manifest(self) -> None:
+        if not os.path.exists(self._manifest_path):
+            return
+        with open(self._manifest_path, "r", encoding="utf-8") as f:
+            manifest = json.load(f)
+        if manifest.get("task") != self.task.name:
+            raise ValueError(
+                f"workdir {self.workdir} belongs to task "
+                f"{manifest.get('task')!r}, not {self.task.name!r}")
+        self.processed_index = manifest["processed_index"]
+        history_indexes = manifest["history"]
+        history = [self.store.load(i) for i in history_indexes]
+        prev_dir = manifest["prev_dir"]
+        self.system.resume(history, prev_dir, manifest["serial"])
+
+    def _save_manifest(self) -> None:
+        history = [s.index for s in self.system._history]
+        manifest = {
+            "task": self.task.name,
+            "processed_index": self.processed_index,
+            "history": history,
+            "prev_dir": self.system._prev_dir,
+            "serial": self.system._snapshot_serial,
+        }
+        tmp = self._manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(manifest, f)
+        os.replace(tmp, self._manifest_path)
+
+    def _results_path(self, index: int) -> str:
+        return os.path.join(self.workdir, f"results_{index:04d}.json")
+
+    def _save_results(self, index: int, result: SnapshotRunResult) -> None:
+        payload = {rel: [list(map(list, row)) for row in rows]
+                   for rel, rows in result.results.items()}
+        tmp = self._results_path(index) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        os.replace(tmp, self._results_path(index))
+
+    def load_results(self, index: int) -> Dict[str, FrozenSet[Tuple]]:
+        """Extracted relations of a processed snapshot (canonical form,
+        comparable with :func:`repro.core.runner.canonical_results`)."""
+        path = self._results_path(index)
+        if not os.path.exists(path):
+            raise KeyError(f"snapshot {index} has no stored results")
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+        out: Dict[str, FrozenSet[Tuple]] = {}
+        for rel, rows in payload.items():
+            out[rel] = frozenset(
+                tuple((var, tuple(value) if isinstance(value, list)
+                       else value) for var, value in row)
+                for row in rows)
+        return out
+
+    # -- processing ---------------------------------------------------------
+
+    def pending_indexes(self) -> List[int]:
+        """Stored snapshots not yet processed, in order."""
+        start = -1 if self.processed_index is None else self.processed_index
+        return [i for i in self.store.indexes() if i > start]
+
+    def catch_up(self) -> List[Tuple[int, SnapshotRunResult]]:
+        """Process every stored-but-unprocessed snapshot."""
+        out: List[Tuple[int, SnapshotRunResult]] = []
+        for index in self.pending_indexes():
+            snapshot = self.store.load(index)
+            result = self.system.process(snapshot)
+            self.processed_index = index
+            self._save_results(index, result)
+            self._save_manifest()
+            out.append((index, result))
+        return out
+
+    def ingest(self, snapshot: Snapshot) -> SnapshotRunResult:
+        """Append a freshly crawled snapshot and extract from it."""
+        self.store.append(snapshot)
+        (pair,) = self.catch_up()[-1:]
+        return pair[1]

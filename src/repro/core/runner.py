@@ -1,0 +1,169 @@
+"""Experiment runner: execute systems over snapshot sequences.
+
+Drives No-reuse / Shortcut / Cyclex / Delex over the same evolving
+corpus and collects per-snapshot runtimes, decompositions, and result
+sets — the raw material for every figure in Section 8.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..corpus.snapshot import Snapshot
+from ..extractors.library import IETask, make_task
+from ..plan.compile import compile_program
+from ..reuse.engine import PlanAssignment, SnapshotRunResult
+from ..timing import Timings
+from .cyclex import CyclexSystem
+from .delex import DelexSystem
+from .noreuse import NoReuseSystem
+from .shortcut import ShortcutSystem
+
+SYSTEM_NAMES = ("noreuse", "shortcut", "cyclex", "delex")
+
+
+def make_system(name: str, task: IETask, workdir: str, **kwargs):
+    """Instantiate one of the four systems for a task."""
+    plan = compile_program(task.program, task.registry)
+    if name == "noreuse":
+        return NoReuseSystem(plan)
+    if name == "shortcut":
+        return ShortcutSystem(plan, os.path.join(workdir, "shortcut"))
+    if name == "cyclex":
+        return CyclexSystem(plan, os.path.join(workdir, "cyclex"),
+                            task.program_alpha, task.program_beta,
+                            **kwargs)
+    if name == "delex":
+        return DelexSystem(task, os.path.join(workdir, "delex"), **kwargs)
+    raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
+
+
+def canonical_results(result: SnapshotRunResult) -> Dict[str, frozenset]:
+    """Order-insensitive view of a run's extracted relations."""
+    return {rel: frozenset(rows) for rel, rows in result.results.items()}
+
+
+@dataclass
+class SnapshotReport:
+    """One system's outcome on one snapshot."""
+
+    snapshot_index: int
+    seconds: float
+    timings: Timings
+    mentions: int
+    results: Dict[str, frozenset] = field(repr=False, default_factory=dict)
+
+
+@dataclass
+class SeriesReport:
+    """One system's outcomes over a whole snapshot sequence."""
+
+    system: str
+    task: str
+    snapshots: List[SnapshotReport] = field(default_factory=list)
+
+    def total_seconds(self, skip_bootstrap: bool = True) -> float:
+        reports = self.snapshots[1:] if skip_bootstrap else self.snapshots
+        return sum(r.seconds for r in reports)
+
+    def seconds_series(self, skip_bootstrap: bool = True) -> List[float]:
+        reports = self.snapshots[1:] if skip_bootstrap else self.snapshots
+        return [r.seconds for r in reports]
+
+    def mean_decomposition(self, skip_bootstrap: bool = True
+                           ) -> Dict[str, float]:
+        reports = self.snapshots[1:] if skip_bootstrap else self.snapshots
+        if not reports:
+            return {}
+        keys = ("match", "extraction", "copy", "opt", "io", "others",
+                "total")
+        acc = {k: 0.0 for k in keys}
+        for report in reports:
+            row = report.timings.as_row()
+            for k in keys:
+                acc[k] += row[k]
+        return {k: v / len(reports) for k, v in acc.items()}
+
+
+def run_series(task: IETask, snapshots: Sequence[Snapshot],
+               systems: Sequence[str] = SYSTEM_NAMES,
+               workdir: Optional[str] = None,
+               keep_results: bool = True,
+               system_kwargs: Optional[Dict[str, dict]] = None,
+               ) -> Dict[str, SeriesReport]:
+    """Run the requested systems over consecutive snapshots.
+
+    Every system sees the snapshots in the same order; the first
+    snapshot is the bootstrap. Returns one :class:`SeriesReport` per
+    system.
+    """
+    own_dir = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="repro_run_")
+    system_kwargs = system_kwargs or {}
+    reports: Dict[str, SeriesReport] = {}
+    try:
+        for system_name in systems:
+            instance = make_system(system_name, task,
+                                   os.path.join(workdir, system_name),
+                                   **system_kwargs.get(system_name, {}))
+            report = SeriesReport(system=system_name, task=task.name)
+            prev: Optional[Snapshot] = None
+            for snapshot in snapshots:
+                result = instance.process(snapshot, prev)
+                report.snapshots.append(SnapshotReport(
+                    snapshot_index=snapshot.index,
+                    seconds=result.timings.total,
+                    timings=result.timings,
+                    mentions=result.total_mentions(),
+                    results=(canonical_results(result)
+                             if keep_results else {})))
+                prev = snapshot
+            reports[system_name] = report
+    finally:
+        if own_dir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return reports
+
+
+def verify_agreement(reports: Dict[str, SeriesReport],
+                     reference: str = "noreuse") -> List[str]:
+    """Check Theorem 1: every system's results equal the reference's.
+
+    Returns a list of human-readable mismatch descriptions (empty when
+    everything agrees).
+    """
+    problems: List[str] = []
+    ref = reports.get(reference)
+    if ref is None:
+        return [f"reference system {reference!r} missing"]
+    for name, report in reports.items():
+        if name == reference:
+            continue
+        for ref_snap, snap in zip(ref.snapshots, report.snapshots):
+            if ref_snap.results != snap.results:
+                for rel in ref_snap.results:
+                    missing = ref_snap.results[rel] - snap.results.get(
+                        rel, frozenset())
+                    extra = snap.results.get(
+                        rel, frozenset()) - ref_snap.results[rel]
+                    if missing or extra:
+                        problems.append(
+                            f"{name} snapshot {snap.snapshot_index} "
+                            f"relation {rel}: {len(missing)} missing, "
+                            f"{len(extra)} extra")
+    return problems
+
+
+def run_task_series(task_name: str, snapshots: Sequence[Snapshot],
+                    systems: Sequence[str] = SYSTEM_NAMES,
+                    work_scale: float = 1.0,
+                    workdir: Optional[str] = None,
+                    **kwargs) -> Dict[str, SeriesReport]:
+    """Convenience wrapper: build the task by name and run the series."""
+    task = make_task(task_name, work_scale=work_scale)
+    return run_series(task, snapshots, systems=systems, workdir=workdir,
+                      **kwargs)

@@ -1,0 +1,34 @@
+"""Evolving-corpus substrate: snapshots, storage, synthesis, statistics."""
+
+from .evolve import ChangeModel, EvolvingCorpus, dblife_corpus, wikipedia_corpus
+from .generators import CorpusGenerator, DBLifeGenerator, PageSpec, WikipediaGenerator
+from .snapshot import (
+    Snapshot,
+    iter_snapshot_pages,
+    read_snapshot,
+    snapshot_from_texts,
+    write_snapshot,
+)
+from .stats import CorpusProfile, SnapshotDelta, profile_corpus, snapshot_delta
+from .store import CorpusStore
+
+__all__ = [
+    "Snapshot",
+    "CorpusStore",
+    "ChangeModel",
+    "EvolvingCorpus",
+    "CorpusGenerator",
+    "DBLifeGenerator",
+    "WikipediaGenerator",
+    "PageSpec",
+    "CorpusProfile",
+    "SnapshotDelta",
+    "profile_corpus",
+    "snapshot_delta",
+    "dblife_corpus",
+    "wikipedia_corpus",
+    "write_snapshot",
+    "read_snapshot",
+    "iter_snapshot_pages",
+    "snapshot_from_texts",
+]

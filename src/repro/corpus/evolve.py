@@ -1,0 +1,160 @@
+"""Page-evolution simulator.
+
+Drives a :class:`~repro.corpus.generators.CorpusGenerator` through a
+sequence of snapshots. The change model is deliberately simple and
+measurable: each step, a page stays byte-identical with probability
+``p_unchanged``; otherwise it receives a small number of line-level
+edits (insert / delete / rewrite). Pages are occasionally retired and
+new URLs appear, matching the churn of real crawls.
+
+Presets reproduce the two corpora of the paper's evaluation:
+
+* :func:`dblife_corpus` — 96–98 % of pages identical between snapshots.
+* :func:`wikipedia_corpus` — only 8–20 % identical, but changed pages
+  still share most of their text with their previous version.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from ..text.document import Page
+from .generators import CorpusGenerator, DBLifeGenerator, PageSpec, WikipediaGenerator
+from .snapshot import Snapshot
+
+
+@dataclass(frozen=True)
+class ChangeModel:
+    """Parameters of the per-step evolution process."""
+
+    p_unchanged: float = 0.9
+    """Probability a page survives a step byte-identical."""
+
+    p_removed: float = 0.01
+    """Probability a page disappears from the next snapshot."""
+
+    p_added: float = 0.01
+    """Expected new pages per step, as a fraction of corpus size."""
+
+    p_renamed: float = 0.0
+    """Probability a surviving page moves to a fresh URL (content kept,
+    possibly edited) — site reorganizations. The paper's same-URL
+    matching scope loses these pages' history; the
+    :class:`~repro.reuse.scope.FingerprintScope` recovers it."""
+
+    mean_edits: float = 2.0
+    """Mean number of line edits applied to a changed page."""
+
+    p_insert: float = 0.4
+    p_delete: float = 0.2
+    """Edit-type mix; the remainder rewrites an existing line."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_unchanged <= 1.0:
+            raise ValueError("p_unchanged must be in [0, 1]")
+        if self.p_insert + self.p_delete > 1.0:
+            raise ValueError("p_insert + p_delete must be <= 1")
+
+
+class EvolvingCorpus:
+    """Generates consecutive snapshots of a synthetic evolving corpus."""
+
+    def __init__(self, generator: CorpusGenerator, n_pages: int,
+                 change_model: ChangeModel, seed: int = 0) -> None:
+        if n_pages <= 0:
+            raise ValueError("n_pages must be positive")
+        self.generator = generator
+        self.change_model = change_model
+        self._rng = random.Random(seed)
+        self._next_url_id = 0
+        self._pages: List[PageSpec] = [
+            generator.new_page(self._rng, self._fresh_url())
+            for _ in range(n_pages)
+        ]
+        self._snapshot_index = 0
+
+    def _fresh_url(self) -> str:
+        url = f"http://{self.generator.name}.example.org/page/{self._next_url_id:05d}"
+        self._next_url_id += 1
+        return url
+
+    def current_snapshot(self) -> Snapshot:
+        """Materialize the current state as a snapshot."""
+        pages = [Page.from_url(spec.url, spec.text()) for spec in self._pages]
+        return Snapshot(self._snapshot_index, pages)
+
+    def step(self) -> Snapshot:
+        """Advance one crawl interval and return the new snapshot."""
+        model = self.change_model
+        rng = self._rng
+        survivors: List[PageSpec] = []
+        for spec in self._pages:
+            if rng.random() < model.p_removed:
+                continue
+            if rng.random() < model.p_unchanged:
+                survivor = spec
+            else:
+                survivor = self._edit(rng, spec.clone())
+            if model.p_renamed and rng.random() < model.p_renamed:
+                survivor = survivor.clone()
+                survivor.url = self._fresh_url()
+            survivors.append(survivor)
+        n_new = sum(1 for _ in range(len(self._pages))
+                    if rng.random() < model.p_added)
+        for _ in range(n_new):
+            survivors.append(self.generator.new_page(rng, self._fresh_url()))
+        self._pages = survivors
+        self._snapshot_index += 1
+        return self.current_snapshot()
+
+    def snapshots(self, count: int) -> Iterator[Snapshot]:
+        """Yield the current snapshot followed by ``count - 1`` steps."""
+        if count <= 0:
+            return
+        yield self.current_snapshot()
+        for _ in range(count - 1):
+            yield self.step()
+
+    def _edit(self, rng: random.Random, spec: PageSpec) -> PageSpec:
+        model = self.change_model
+        n_edits = max(1, round(rng.expovariate(1.0 / model.mean_edits)))
+        for _ in range(n_edits):
+            roll = rng.random()
+            if roll < model.p_insert or not spec.lines:
+                pos = rng.randint(0, len(spec.lines))
+                spec.lines.insert(
+                    pos, self.generator.new_line(rng, spec.kind))
+            elif roll < model.p_insert + model.p_delete and len(spec.lines) > 1:
+                del spec.lines[rng.randrange(len(spec.lines))]
+            else:
+                pos = rng.randrange(len(spec.lines))
+                spec.lines[pos] = self.generator.modify_line(
+                    rng, spec.kind, spec.lines[pos])
+        return spec
+
+
+def dblife_corpus(n_pages: int = 120, seed: int = 0,
+                  p_unchanged: float = 0.97) -> EvolvingCorpus:
+    """DBLife-like corpus: slow-changing community pages.
+
+    The paper reports 96–98 % of DBLife pages identical between
+    consecutive snapshots; ``p_unchanged`` defaults inside that band.
+    """
+    model = ChangeModel(p_unchanged=p_unchanged, p_removed=0.005,
+                        p_added=0.005, mean_edits=2.0)
+    return EvolvingCorpus(DBLifeGenerator(), n_pages, model, seed=seed)
+
+
+def wikipedia_corpus(n_pages: int = 80, seed: int = 0,
+                     p_unchanged: float = 0.15) -> EvolvingCorpus:
+    """Wikipedia-like corpus: most pages edited every snapshot.
+
+    The paper reports only 8–20 % of Wikipedia pages identical between
+    consecutive (21-day) snapshots, yet edits are local, so changed
+    pages still overlap heavily with their previous versions.
+    """
+    model = ChangeModel(p_unchanged=p_unchanged, p_removed=0.01,
+                        p_added=0.01, mean_edits=3.0)
+    return EvolvingCorpus(WikipediaGenerator(), n_pages, model, seed=seed)

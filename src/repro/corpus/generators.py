@@ -1,0 +1,244 @@
+"""Synthetic page generators standing in for the paper's crawls.
+
+The paper evaluates on crawled DBLife (community portal pages) and
+Wikipedia (entertainment articles) snapshots that are not publicly
+available. These generators produce pages with the same *extractable
+structure*: rigidly formatted fact lines that the rule-based blackboxes
+in :mod:`repro.extractors.library` target, interleaved with filler prose
+and section headers, organized so diffs across snapshots look like real
+page edits (line insertions, deletions, and small token rewrites).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from . import vocab
+
+
+@dataclass
+class PageSpec:
+    """A mutable page under evolution: an ordered list of text lines."""
+
+    url: str
+    kind: str
+    lines: List[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    def clone(self) -> "PageSpec":
+        return PageSpec(self.url, self.kind, list(self.lines))
+
+
+class CorpusGenerator(ABC):
+    """Produces initial pages and fresh fact lines for edits."""
+
+    #: short name used in store paths and reports
+    name: str = "corpus"
+
+    @abstractmethod
+    def new_page(self, rng: random.Random, url: str) -> PageSpec:
+        """Generate a brand-new page."""
+
+    @abstractmethod
+    def new_line(self, rng: random.Random, kind: str) -> str:
+        """Generate one line suitable for insertion into a ``kind`` page."""
+
+    @abstractmethod
+    def page_kinds(self) -> Sequence[str]:
+        """Kinds of pages this corpus contains."""
+
+    def modify_line(self, rng: random.Random, kind: str, line: str) -> str:
+        """Rewrite a line in-place the way small page edits do.
+
+        The default implementation tweaks years/numbers when present and
+        otherwise replaces the line with a fresh one of the same flavor.
+        """
+        tokens = line.split(" ")
+        digit_slots = [i for i, t in enumerate(tokens)
+                       if t.strip("().,").isdigit()]
+        if digit_slots and rng.random() < 0.7:
+            i = rng.choice(digit_slots)
+            core = tokens[i].strip("().,")
+            bumped = str(int(core) + rng.randint(1, 3))
+            tokens[i] = tokens[i].replace(core, bumped)
+            return " ".join(tokens)
+        return self.new_line(rng, kind)
+
+
+def _year(rng: random.Random) -> int:
+    return rng.randint(1985, 2009)
+
+
+class DBLifeGenerator(CorpusGenerator):
+    """DBLife-like community pages: talks, conference service, advising.
+
+    Fact-line grammar (the rule extractors depend on these shapes):
+
+    * ``Talk: "<title>" by <Name>. Topics: <t1>, <t2>.``
+    * ``<Name> serves as <type> chair of <CONF> <year>.``
+    * ``Prof. <Name> advises <Name> on <topic>.``
+    """
+
+    name = "dblife"
+
+    def page_kinds(self) -> Sequence[str]:
+        return ("homepage", "seminar", "conference")
+
+    def new_page(self, rng: random.Random, url: str) -> PageSpec:
+        kind = rng.choice(self.page_kinds())
+        page = PageSpec(url, kind)
+        owner = vocab.person_name(rng)
+        page.lines.append(f"{owner} - {kind.title()} Page")
+        page.lines.append(rng.choice(vocab.FILLER_SENTENCES))
+        page.lines.append("== Announcements ==")
+        for _ in range(rng.randint(1, 3)):
+            page.lines.append(self._talk_line(rng))
+        for _ in range(rng.randint(0, 2)):
+            page.lines.append(rng.choice(vocab.FILLER_SENTENCES))
+        page.lines.append("== Service ==")
+        for _ in range(rng.randint(1, 3)):
+            page.lines.append(self._chair_line(rng))
+        page.lines.append("== Advising ==")
+        for _ in range(rng.randint(1, 3)):
+            page.lines.append(self._advise_line(rng))
+        page.lines.append("== News ==")
+        for _ in range(rng.randint(1, 4)):
+            page.lines.append(rng.choice(vocab.FILLER_SENTENCES))
+        return page
+
+    def new_line(self, rng: random.Random, kind: str) -> str:
+        roll = rng.random()
+        if roll < 0.25:
+            return self._talk_line(rng)
+        if roll < 0.45:
+            return self._chair_line(rng)
+        if roll < 0.65:
+            return self._advise_line(rng)
+        return rng.choice(vocab.FILLER_SENTENCES)
+
+    def _talk_line(self, rng: random.Random) -> str:
+        title = vocab.paper_title(rng)
+        speaker = vocab.person_name(rng)
+        topics = ", ".join(vocab.topic_list(rng))
+        room = rng.choice(vocab.ROOMS)
+        when = rng.choice(vocab.TIMES)
+        return (f'Talk: "{title}" by {speaker}. Topics: {topics}. '
+                f"Location: {room} at {when}.")
+
+    def _chair_line(self, rng: random.Random) -> str:
+        person = vocab.person_name(rng)
+        ctype = rng.choice(vocab.CHAIR_TYPES)
+        conf = rng.choice(vocab.CONFERENCES)
+        return f"{person} serves as {ctype} chair of {conf} {_year(rng)}."
+
+    def _advise_line(self, rng: random.Random) -> str:
+        advisor = vocab.person_name(rng)
+        advisee = vocab.person_name(rng)
+        topic = rng.choice(vocab.TOPICS)
+        return f"Prof. {advisor} advises {advisee} on {topic}."
+
+
+class WikipediaGenerator(CorpusGenerator):
+    """Wikipedia-like entertainment articles: actors and movies.
+
+    Fact-line grammar:
+
+    * ``<Movie> grossed $<n> million worldwide.``
+    * ``<Actor> starred as <Character> in <Movie> (<year>).``
+    * ``<Actor> won the <Award> for <Movie> (<year>).``
+    * ``Born <Full Name> on <Month> <d>, <year>.``
+    * ``Notable roles include <Movie> and <Movie>.``
+    """
+
+    name = "wikipedia"
+
+    def page_kinds(self) -> Sequence[str]:
+        return ("actor", "movie")
+
+    def new_page(self, rng: random.Random, url: str) -> PageSpec:
+        kind = rng.choice(self.page_kinds())
+        if kind == "actor":
+            return self._actor_page(rng, url)
+        return self._movie_page(rng, url)
+
+    def _actor_page(self, rng: random.Random, url: str) -> PageSpec:
+        page = PageSpec(url, "actor")
+        actor = vocab.person_name(rng)
+        page.lines.append(f"{actor} is a film actor.")
+        page.lines.append("== Biography ==")
+        page.lines.append(self._birth_line(rng))
+        page.lines.append(rng.choice(vocab.FILLER_SENTENCES))
+        page.lines.append(self._roles_line(rng))
+        page.lines.append("== Filmography ==")
+        for _ in range(rng.randint(2, 4)):
+            page.lines.append(self._play_line(rng, actor))
+        page.lines.append("== Awards ==")
+        for _ in range(rng.randint(1, 3)):
+            page.lines.append(self._award_line(rng, actor))
+        page.lines.append("== References ==")
+        for _ in range(rng.randint(1, 3)):
+            page.lines.append(rng.choice(vocab.FILLER_SENTENCES))
+        return page
+
+    def _movie_page(self, rng: random.Random, url: str) -> PageSpec:
+        page = PageSpec(url, "movie")
+        movie = vocab.movie_title(rng)
+        page.lines.append(f"{movie} is a feature film released in "
+                          f"{_year(rng)}.")
+        page.lines.append("== Production ==")
+        for _ in range(rng.randint(1, 3)):
+            page.lines.append(rng.choice(vocab.FILLER_SENTENCES))
+        page.lines.append("== Box office ==")
+        page.lines.append(self._gross_line(rng, movie))
+        page.lines.append("== Filmography ==")
+        for _ in range(rng.randint(1, 3)):
+            page.lines.append(self._play_line(rng))
+        page.lines.append("== Awards ==")
+        for _ in range(rng.randint(0, 2)):
+            page.lines.append(self._award_line(rng))
+        return page
+
+    def new_line(self, rng: random.Random, kind: str) -> str:
+        roll = rng.random()
+        if roll < 0.2:
+            return self._gross_line(rng)
+        if roll < 0.4:
+            return self._play_line(rng)
+        if roll < 0.6:
+            return self._award_line(rng)
+        if roll < 0.7 and kind == "actor":
+            return self._roles_line(rng)
+        return rng.choice(vocab.FILLER_SENTENCES)
+
+    def _gross_line(self, rng: random.Random, movie: str = "") -> str:
+        movie = movie or vocab.movie_title(rng)
+        amount = rng.choice((12, 35, 48, 75, 95, 120, 180, 240, 310, 480))
+        return f"{movie} grossed ${amount} million worldwide."
+
+    def _play_line(self, rng: random.Random, actor: str = "") -> str:
+        actor = actor or vocab.person_name(rng)
+        character = rng.choice(vocab.CHARACTERS)
+        movie = vocab.movie_title(rng)
+        return f"{actor} starred as {character} in {movie} ({_year(rng)})."
+
+    def _award_line(self, rng: random.Random, actor: str = "") -> str:
+        actor = actor or vocab.person_name(rng)
+        award = rng.choice(vocab.AWARDS)
+        movie = vocab.movie_title(rng)
+        return f"{actor} won the {award} for {movie} ({_year(rng)})."
+
+    def _birth_line(self, rng: random.Random) -> str:
+        full = (f"{rng.choice(vocab.FIRST_NAMES)} "
+                f"{rng.choice(vocab.FIRST_NAMES)} "
+                f"{rng.choice(vocab.LAST_NAMES)}")
+        month = rng.choice(vocab.MONTHS)
+        return f"Born {full} on {month} {rng.randint(1, 28)}, {_year(rng)}."
+
+    def _roles_line(self, rng: random.Random) -> str:
+        return (f"Notable roles include {vocab.movie_title(rng)} and "
+                f"{vocab.movie_title(rng)}.")

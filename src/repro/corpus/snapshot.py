@@ -1,0 +1,123 @@
+"""Corpus snapshots and their on-disk representation.
+
+A snapshot is the ordered set of pages retrieved by one crawl. Order
+matters: the reuse engine processes pages of snapshot ``n+1`` in the
+same order as snapshot ``n`` so every reuse file is scanned exactly once
+(Section 5.2). Snapshots are persisted as a single sequential data file
+of length-prefixed page records, mirroring the paper's disk-resident,
+stream-processed corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..text.document import Page
+
+
+@dataclass
+class Snapshot:
+    """An ordered collection of pages from one crawl."""
+
+    index: int
+    pages: List[Page] = field(default_factory=list)
+    _by_url: Dict[str, Page] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._by_url:
+            self._by_url = {p.url: p for p in self.pages}
+        if len(self._by_url) != len(self.pages):
+            raise ValueError("duplicate URLs within a snapshot")
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self) -> Iterator[Page]:
+        return iter(self.pages)
+
+    def get(self, url: str) -> Optional[Page]:
+        """Page at this URL, or None if the URL was not crawled."""
+        return self._by_url.get(url)
+
+    def urls(self) -> List[str]:
+        return [p.url for p in self.pages]
+
+    def total_bytes(self) -> int:
+        return sum(len(p.text.encode("utf-8")) for p in self.pages)
+
+    def add(self, page: Page) -> None:
+        if page.url in self._by_url:
+            raise ValueError(f"duplicate URL {page.url!r}")
+        self.pages.append(page)
+        self._by_url[page.url] = page
+
+    def ordered_like(self, previous: "Snapshot") -> "Snapshot":
+        """Reorder so pages shared with ``previous`` come first, in
+        ``previous``'s order; brand-new pages follow.
+
+        This is the processing order that lets the reuse engine scan
+        each reuse file sequentially exactly once.
+        """
+        fresh: List[Page] = []
+        seen = set()
+        for old in previous.pages:
+            page = self.get(old.url)
+            if page is not None:
+                fresh.append(page)
+                seen.add(page.url)
+        for page in self.pages:
+            if page.url not in seen:
+                fresh.append(page)
+        return Snapshot(self.index, fresh)
+
+
+def write_snapshot(snapshot: Snapshot, path: str) -> None:
+    """Persist a snapshot as one sequential file of page records.
+
+    Each record is a JSON header line ``{"did", "url", "nbytes"}``
+    followed by exactly ``nbytes`` of UTF-8 page text and a newline.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(json.dumps({"index": snapshot.index,
+                            "pages": len(snapshot)}).encode("utf-8"))
+        f.write(b"\n")
+        for page in snapshot:
+            body = page.text.encode("utf-8")
+            header = {"did": page.did, "url": page.url, "nbytes": len(body)}
+            f.write(json.dumps(header).encode("utf-8"))
+            f.write(b"\n")
+            f.write(body)
+            f.write(b"\n")
+    os.replace(tmp, path)
+
+
+def iter_snapshot_pages(path: str) -> Iterator[Page]:
+    """Stream pages from a snapshot file without loading it whole."""
+    with open(path, "rb") as f:
+        f.readline()  # snapshot header
+        while True:
+            line = f.readline()
+            if not line:
+                return
+            header = json.loads(line)
+            body = f.read(header["nbytes"]).decode("utf-8")
+            f.read(1)  # trailing newline
+            yield Page(did=header["did"], url=header["url"], text=body)
+
+
+def read_snapshot(path: str) -> Snapshot:
+    """Load a snapshot file fully into memory."""
+    with open(path, "rb") as f:
+        meta = json.loads(f.readline())
+    return Snapshot(meta["index"], list(iter_snapshot_pages(path)))
+
+
+def snapshot_from_texts(index: int, texts: Dict[str, str],
+                        order: Optional[Iterable[str]] = None) -> Snapshot:
+    """Convenience constructor from a ``url -> text`` mapping."""
+    urls = list(order) if order is not None else sorted(texts)
+    return Snapshot(index, [Page.from_url(u, texts[u]) for u in urls])

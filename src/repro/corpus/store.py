@@ -1,0 +1,77 @@
+"""Disk-backed store of consecutive corpus snapshots.
+
+Layout under the store root::
+
+    <root>/snapshot_0000.dat
+    <root>/snapshot_0001.dat
+    ...
+    <root>/reuse/<system>/<snapshot>/...   (reuse files, managed elsewhere)
+
+The store only manages snapshot files; reuse files are owned by the
+reuse engine but live under the same root so one directory captures an
+entire evolving-extraction deployment.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Iterator, List, Optional
+
+from .snapshot import Snapshot, read_snapshot, write_snapshot
+
+_SNAPSHOT_RE = re.compile(r"snapshot_(\d{4})\.dat$")
+
+
+class CorpusStore:
+    """Append-only sequence of snapshots on disk."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, index: int) -> str:
+        return os.path.join(self.root, f"snapshot_{index:04d}.dat")
+
+    def indexes(self) -> List[int]:
+        """Sorted snapshot indexes present on disk."""
+        out = []
+        for name in os.listdir(self.root):
+            m = _SNAPSHOT_RE.match(name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self.indexes())
+
+    @property
+    def latest_index(self) -> Optional[int]:
+        idx = self.indexes()
+        return idx[-1] if idx else None
+
+    def append(self, snapshot: Snapshot) -> int:
+        """Store the next snapshot; its index must follow the latest."""
+        latest = self.latest_index
+        expected = 0 if latest is None else latest + 1
+        if snapshot.index != expected:
+            raise ValueError(
+                f"snapshot index {snapshot.index} != expected {expected}")
+        write_snapshot(snapshot, self._path(snapshot.index))
+        return snapshot.index
+
+    def load(self, index: int) -> Snapshot:
+        path = self._path(index)
+        if not os.path.exists(path):
+            raise KeyError(f"no snapshot {index} in {self.root}")
+        return read_snapshot(path)
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        for index in self.indexes():
+            yield self.load(index)
+
+    def reuse_dir(self, system: str, index: int) -> str:
+        """Directory for a system's reuse files for snapshot ``index``."""
+        path = os.path.join(self.root, "reuse", system, f"{index:04d}")
+        os.makedirs(path, exist_ok=True)
+        return path

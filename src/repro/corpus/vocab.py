@@ -1,0 +1,125 @@
+"""Vocabulary pools for the synthetic corpus generators.
+
+The DBLife-like corpus needs researcher names, paper-title words,
+conferences, and topics; the Wikipedia-like corpus needs actor names,
+movie titles, characters, and awards. Everything is deterministic given
+the caller's ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+FIRST_NAMES: Sequence[str] = (
+    "Alice", "Benjamin", "Carla", "David", "Elena", "Frank", "Grace",
+    "Henry", "Irene", "James", "Karen", "Louis", "Maria", "Nathan",
+    "Olivia", "Peter", "Quentin", "Rachel", "Samuel", "Teresa", "Ulrich",
+    "Victoria", "Walter", "Xenia", "Yusuf", "Zoe", "Arthur", "Bianca",
+    "Carl", "Diana", "Edward", "Fiona", "George", "Hanna", "Ivan",
+    "Julia", "Kevin", "Laura", "Martin", "Nina", "Oscar", "Paula",
+)
+
+LAST_NAMES: Sequence[str] = (
+    "Anderson", "Brooks", "Chen", "Dawson", "Ellis", "Foster", "Garcia",
+    "Huang", "Ivanov", "Johnson", "Kumar", "Lindqvist", "Martinez",
+    "Nakamura", "Olsen", "Petrov", "Quinn", "Rossi", "Schmidt", "Tanaka",
+    "Ueda", "Vargas", "Weber", "Xu", "Yamamoto", "Zhang", "Abrams",
+    "Bergman", "Costa", "Duval", "Eriksen", "Fischer", "Gupta", "Hoffman",
+    "Ibrahim", "Jansen", "Klein", "Lorenz", "Moreau", "Novak",
+)
+
+TOPICS: Sequence[str] = (
+    "information extraction", "query optimization", "data integration",
+    "stream processing", "view maintenance", "text indexing",
+    "entity resolution", "schema matching", "web crawling",
+    "probabilistic databases", "distributed transactions",
+    "column stores", "graph mining", "sensor networks",
+    "relevance feedback", "data provenance", "workload forecasting",
+    "machine learning", "crowdsourcing", "keyword search",
+)
+
+CONFERENCES: Sequence[str] = (
+    "SIGMOD", "VLDB", "ICDE", "KDD", "CIDR", "EDBT", "WWW", "PODS",
+)
+
+CHAIR_TYPES: Sequence[str] = (
+    "program", "general", "demo", "industrial", "workshop",
+)
+
+TITLE_ADJECTIVES: Sequence[str] = (
+    "Scalable", "Efficient", "Declarative", "Incremental", "Adaptive",
+    "Robust", "Principled", "Distributed", "Approximate", "Unified",
+)
+
+TITLE_NOUNS: Sequence[str] = (
+    "Extraction", "Optimization", "Integration", "Indexing", "Matching",
+    "Crawling", "Analytics", "Provenance", "Maintenance", "Inference",
+)
+
+ROOMS: Sequence[str] = ("CS 105", "CS 1240", "EE 201", "MSC 333", "CS 2310")
+
+TIMES: Sequence[str] = ("10 am", "11 am", "noon", "1 pm", "2 pm", "3 pm",
+                        "4 pm", "4:30 pm")
+
+MOVIE_FIRST: Sequence[str] = (
+    "Midnight", "Crimson", "Silent", "Golden", "Broken", "Winter",
+    "Electric", "Paper", "Hollow", "Distant", "Savage", "Gentle",
+    "Burning", "Frozen", "Scarlet", "Velvet",
+)
+
+MOVIE_SECOND: Sequence[str] = (
+    "Horizon", "Garden", "Empire", "Passage", "Harbor", "Letters",
+    "Crossing", "Kingdom", "Shadows", "Reverie", "Arcade", "Station",
+    "Voyage", "Orchard", "Cathedral", "Frontier",
+)
+
+CHARACTERS: Sequence[str] = (
+    "Captain Reyes", "Dr. Malone", "Agent Carter", "Professor Lin",
+    "Detective Shaw", "Sister Agnes", "Colonel Brandt", "Judge Whitfield",
+    "Nurse Calloway", "Mayor Donnelly",
+)
+
+AWARDS: Sequence[str] = (
+    "Academy Award for Best Actor", "Academy Award for Best Actress",
+    "Golden Globe Award", "Screen Actors Guild Award", "BAFTA Award",
+    "Critics Choice Award", "Saturn Award",
+)
+
+MONTHS: Sequence[str] = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+FILLER_SENTENCES: Sequence[str] = (
+    "The department hosts weekly colloquia during the semester.",
+    "Updates to this page are posted every Monday morning.",
+    "Parking is available in the visitor lot on Dayton Street.",
+    "Refreshments will be served after the session.",
+    "For questions, contact the administrative office.",
+    "This article needs additional citations for verification.",
+    "The production received generally favorable reviews.",
+    "Principal photography took place over eleven weeks.",
+    "The soundtrack was composed over a period of two years.",
+    "Critics praised the cinematography and the supporting cast.",
+    "The project was announced at a press event in the spring.",
+    "Archived materials are available from the library on request.",
+)
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def paper_title(rng: random.Random) -> str:
+    return (f"{rng.choice(TITLE_ADJECTIVES)} {rng.choice(TITLE_NOUNS)} for "
+            f"{rng.choice(TOPICS).title()}")
+
+
+def movie_title(rng: random.Random) -> str:
+    return f"{rng.choice(MOVIE_FIRST)} {rng.choice(MOVIE_SECOND)}"
+
+
+def topic_list(rng: random.Random, low: int = 1, high: int = 3) -> List[str]:
+    count = rng.randint(low, high)
+    return rng.sample(list(TOPICS), count)

@@ -1,0 +1,51 @@
+"""IE blackboxes: extractor interface, rule-based and learned models."""
+
+from .base import Extraction, Extractor, RelSpan
+from .learning import CRFFieldExtractor, MaxEntSentenceSegmenter
+from .library import (
+    ALL_TASKS,
+    RULE_TASKS,
+    IETask,
+    advise_task,
+    award_task,
+    blockbuster_task,
+    chair_task,
+    infobox_task,
+    make_task,
+    play_task,
+    talk_task,
+)
+from .rules import (
+    DictionaryExtractor,
+    LineExtractor,
+    RegexExtractor,
+    SectionExtractor,
+    SentenceExtractor,
+)
+from .wrappers import MentionMultiplier, multiply_task_mentions
+
+__all__ = [
+    "Extractor",
+    "Extraction",
+    "RelSpan",
+    "RegexExtractor",
+    "DictionaryExtractor",
+    "LineExtractor",
+    "SectionExtractor",
+    "SentenceExtractor",
+    "MentionMultiplier",
+    "multiply_task_mentions",
+    "MaxEntSentenceSegmenter",
+    "CRFFieldExtractor",
+    "IETask",
+    "make_task",
+    "talk_task",
+    "chair_task",
+    "advise_task",
+    "blockbuster_task",
+    "play_task",
+    "award_task",
+    "infobox_task",
+    "ALL_TASKS",
+    "RULE_TASKS",
+]

@@ -1,0 +1,37 @@
+"""Matcher portfolio: DN, UD (Myers diff), ST (suffix automaton), RU."""
+
+from .base import (
+    DN_NAME,
+    MATCHER_NAMES,
+    RU_NAME,
+    ST_NAME,
+    UD_NAME,
+    MatchCache,
+    Matcher,
+)
+from .dn import DNMatcher
+from .registry import make_matcher
+from .ru import RUMatcher
+from .st import STMatcher, SuffixAutomaton
+from .ud import UDMatcher, myers_lcs_pairs
+from .ws import WS_NAME, WinnowingMatcher, winnow_fingerprints
+
+__all__ = [
+    "Matcher",
+    "MatchCache",
+    "DNMatcher",
+    "UDMatcher",
+    "STMatcher",
+    "RUMatcher",
+    "SuffixAutomaton",
+    "myers_lcs_pairs",
+    "WinnowingMatcher",
+    "winnow_fingerprints",
+    "WS_NAME",
+    "make_matcher",
+    "MATCHER_NAMES",
+    "DN_NAME",
+    "UD_NAME",
+    "ST_NAME",
+    "RU_NAME",
+]

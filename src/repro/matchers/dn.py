@@ -1,0 +1,25 @@
+"""The DN ("do nothing") matcher.
+
+DN declares the two regions share nothing, at zero cost. Assigning DN
+to an IE unit amounts to running that unit from scratch — which the
+optimizer will happily do when matching would cost more than the
+extraction it saves.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..text.regions import MatchSegment
+from ..text.span import Interval
+from .base import DN_NAME, Matcher
+
+
+class DNMatcher(Matcher):
+    """Always reports no overlap."""
+
+    name = DN_NAME
+
+    def match(self, p_text: str, p_region: Interval,
+              q_text: str, q_region: Interval) -> List[MatchSegment]:
+        return []

@@ -1,0 +1,158 @@
+"""The UD matcher: a Unix-diff-style matcher (Myers' O(ND) algorithm).
+
+UD diffs the two regions line by line with Myers' greedy O(ND)
+algorithm [Myers 1986], converts runs of equal lines to character
+segments, and greedily extends each segment character-wise. Like the
+Unix ``diff`` it emulates, it is fast (linear in practice) but finds
+only *aligned* overlaps — it misses moved blocks, which the ST matcher
+catches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..text.regions import MatchSegment
+from ..text.span import Interval
+from .base import UD_NAME, Matcher
+
+
+def _split_lines(text: str, region: Interval) -> Tuple[List[str], List[int]]:
+    """Lines of a region plus each line's absolute start offset."""
+    body = text[region.start:region.end]
+    lines = body.split("\n")
+    offsets: List[int] = []
+    pos = region.start
+    for line in lines:
+        offsets.append(pos)
+        pos += len(line) + 1
+    return lines, offsets
+
+
+def myers_lcs_pairs(a: Sequence[str], b: Sequence[str],
+                    max_d: int = 0) -> List[Tuple[int, int]]:
+    """Matched index pairs of an LCS of ``a`` and ``b`` (Myers O(ND)).
+
+    ``max_d`` caps the edit distance explored; 0 means unlimited. When
+    the cap is hit the common prefix/suffix alone is returned —
+    trading completeness for time exactly like a real diff tool under
+    pressure.
+    """
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return []
+    limit = max_d if max_d > 0 else n + m
+    # v[k] = furthest x reached on diagonal k; trace snapshots v at the
+    # start of each d round so the path can be reconstructed.
+    v = {1: 0}
+    trace: List[dict] = []
+    found_d = -1
+    for d in range(limit + 1):
+        trace.append(dict(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v[k - 1] < v[k + 1]):
+                x = v[k + 1]
+            else:
+                x = v[k - 1] + 1
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k] = x
+            if x >= n and y >= m:
+                found_d = d
+                break
+        if found_d >= 0:
+            break
+    if found_d < 0:
+        return _prefix_suffix_pairs(a, b)
+    # Backtrack through the trace collecting snake (equal-run) moves.
+    pairs: List[Tuple[int, int]] = []
+    x, y = n, m
+    for d in range(found_d, -1, -1):
+        v_prev = trace[d]
+        k = x - y
+        if k == -d or (k != d and v_prev[k - 1] < v_prev[k + 1]):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = v_prev[prev_k]
+        prev_y = prev_x - prev_k
+        while x > prev_x and y > prev_y:
+            x -= 1
+            y -= 1
+            pairs.append((x, y))
+        if d > 0:
+            x, y = prev_x, prev_y
+    pairs.reverse()
+    return pairs
+
+
+def _prefix_suffix_pairs(a: Sequence[str],
+                         b: Sequence[str]) -> List[Tuple[int, int]]:
+    pairs: List[Tuple[int, int]] = []
+    i = 0
+    while i < len(a) and i < len(b) and a[i] == b[i]:
+        pairs.append((i, i))
+        i += 1
+    j = 0
+    while (j < len(a) - i and j < len(b) - i
+           and a[len(a) - 1 - j] == b[len(b) - 1 - j]):
+        pairs.append((len(a) - 1 - j, len(b) - 1 - j))
+        j += 1
+    pairs.sort()
+    return pairs
+
+
+class UDMatcher(Matcher):
+    """Line-level Myers diff converted to character match segments."""
+
+    name = UD_NAME
+
+    def __init__(self, max_d: int = 0) -> None:
+        self.max_d = max_d
+
+    def match(self, p_text: str, p_region: Interval,
+              q_text: str, q_region: Interval) -> List[MatchSegment]:
+        p_lines, p_offsets = _split_lines(p_text, p_region)
+        q_lines, q_offsets = _split_lines(q_text, q_region)
+        pairs = myers_lcs_pairs(p_lines, q_lines, self.max_d)
+        segments: List[MatchSegment] = []
+        run_start = None
+        prev = None
+        for pi, qi in pairs + [(-2, -2)]:
+            if prev is not None and (pi, qi) == (prev[0] + 1, prev[1] + 1):
+                prev = (pi, qi)
+                continue
+            if run_start is not None:
+                segments.append(self._run_to_segment(
+                    run_start, prev, p_lines, p_offsets, q_lines, q_offsets))
+            run_start = (pi, qi) if pi >= 0 else None
+            prev = (pi, qi) if pi >= 0 else None
+        return [self._extend(s, p_text, p_region, q_text, q_region)
+                for s in segments if s.length > 0]
+
+    @staticmethod
+    def _run_to_segment(start: Tuple[int, int], end: Tuple[int, int],
+                        p_lines: List[str], p_offsets: List[int],
+                        q_lines: List[str],
+                        q_offsets: List[int]) -> MatchSegment:
+        p_start = p_offsets[start[0]]
+        q_start = q_offsets[start[1]]
+        p_end = p_offsets[end[0]] + len(p_lines[end[0]])
+        return MatchSegment(p_start, q_start, p_end - p_start)
+
+    @staticmethod
+    def _extend(seg: MatchSegment, p_text: str, p_region: Interval,
+                q_text: str, q_region: Interval) -> MatchSegment:
+        """Grow a segment character-wise while text stays equal."""
+        ps, qs, length = seg.p_start, seg.q_start, seg.length
+        while (ps > p_region.start and qs > q_region.start
+               and p_text[ps - 1] == q_text[qs - 1]):
+            ps -= 1
+            qs -= 1
+            length += 1
+        while (ps + length < p_region.end and qs + length < q_region.end
+               and p_text[ps + length] == q_text[qs + length]):
+            length += 1
+        return MatchSegment(ps, qs, length)

@@ -1,0 +1,38 @@
+"""Exhaustive plan enumeration (for the Figure 12 experiment).
+
+The "play" task has 4 IE units and 4 matchers — 256 plans, small
+enough to enumerate, execute, and rank, which is how the paper
+evaluates how close the optimizer's pick lands to the true best plan.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List, Sequence
+
+from ..matchers.base import MATCHER_NAMES
+from ..plan.units import IEUnit
+from ..reuse.engine import PlanAssignment
+
+
+def enumerate_assignments(units: Sequence[IEUnit],
+                          matchers: Sequence[str] = MATCHER_NAMES
+                          ) -> Iterator[PlanAssignment]:
+    """Yield every matcher assignment (|matchers|^|units| plans)."""
+    uids = [u.uid for u in units]
+    for combo in product(matchers, repeat=len(uids)):
+        yield PlanAssignment(dict(zip(uids, combo)))
+
+
+def count_assignments(units: Sequence[IEUnit],
+                      matchers: Sequence[str] = MATCHER_NAMES) -> int:
+    return len(matchers) ** len(units)
+
+
+def canonical_plans(units: Sequence[IEUnit],
+                    matchers: Sequence[str] = MATCHER_NAMES
+                    ) -> List[PlanAssignment]:
+    """All assignments as a list (use only for small unit counts)."""
+    if count_assignments(units, matchers) > 100_000:
+        raise ValueError("plan space too large to materialize")
+    return list(enumerate_assignments(units, matchers))

@@ -1,0 +1,168 @@
+"""Cost-model parameters (Figure 7).
+
+Three parameter families:
+
+* meta-data statistics (Figure 7a): per-unit input tuple counts ``a``,
+  region lengths ``l``, reuse-file sizes ``b``/``c`` in blocks, corpus
+  size ``d``/``m``, hash-bucket count ``v``;
+* selectivity statistics (Figure 7b): fraction of pages with a previous
+  version ``f``, matcher invocations ``s``, post-match extraction
+  fraction ``g``, copy regions per region ``h``;
+* cost weights ``w``: seconds per block of I/O, per matched character,
+  per extracted character, per comparison/probe.
+
+Estimated quantities carry hats in the paper; here everything in
+:class:`Statistics` is an estimate produced by
+:mod:`repro.optimizer.stats` from a small page sample and the last few
+snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME
+
+DEFAULT_HASH_BUCKETS = 1024
+
+
+@dataclass
+class CostWeights:
+    """Environment-dependent cost weights (seconds per unit of work)."""
+
+    io_per_block: float = 2e-5
+    find_per_comparison: float = 2e-7
+    copy_per_probe: float = 5e-7
+    match_rate: Dict[str, float] = field(default_factory=dict)
+    """Seconds per character matched, per matcher name."""
+
+    def rate_of(self, matcher: str) -> float:
+        if matcher == DN_NAME:
+            return 0.0
+        if matcher == RU_NAME:
+            # RU touches recorded segments, not text; per-character cost
+            # is negligible (Section 6.2 relies on this).
+            return self.match_rate.get(RU_NAME, 1e-9)
+        return self.match_rate.get(matcher, 1e-6)
+
+
+def probe_io_weight(block_size: int = 4096, blocks: int = 256) -> float:
+    """Measure sequential I/O seconds per block on this machine."""
+    payload = b"x" * block_size
+    with tempfile.NamedTemporaryFile(delete=False) as f:
+        path = f.name
+        start = time.perf_counter()
+        for _ in range(blocks):
+            f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+        write_time = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        with open(path, "rb") as f:
+            while f.read(block_size):
+                pass
+        read_time = time.perf_counter() - start
+    finally:
+        os.unlink(path)
+    return (write_time + read_time) / (2 * blocks)
+
+
+@dataclass
+class UnitEstimates:
+    """Per-IE-unit statistics feeding the cost formulas."""
+
+    a: float = 1.0
+    """Average input tuples per page (current snapshot)."""
+
+    a_prev: float = 1.0
+    """Average input tuples per page recorded on the previous snapshot."""
+
+    l: float = 0.0
+    """Average region length (characters) per input tuple."""
+
+    extract_rate: float = 0.0
+    """Extractor seconds per character."""
+
+    b_blocks: float = 0.0
+    """Size of I_U on disk (blocks), previous snapshot."""
+
+    c_blocks: float = 0.0
+    """Size of O_U on disk (blocks), previous snapshot."""
+
+    s: Dict[str, float] = field(default_factory=dict)
+    """Matcher invocations per input tuple, per matcher."""
+
+    g: Dict[str, float] = field(default_factory=dict)
+    """Post-match extraction fraction, per matcher (1.0 for DN)."""
+
+    h: Dict[str, float] = field(default_factory=dict)
+    """Copy regions per matched input region, per matcher."""
+
+    g_ru: Dict[str, float] = field(default_factory=dict)
+    """RU extraction fraction when recycling a donor of each kind."""
+
+    h_ru: Dict[str, float] = field(default_factory=dict)
+    """RU copy regions when recycling a donor of each kind."""
+
+    def g_of(self, matcher: str,
+             donor_matcher: Optional[str] = None) -> float:
+        if matcher == DN_NAME:
+            return 1.0
+        if matcher == RU_NAME:
+            if donor_matcher is None:
+                return 1.0  # no donor: RU degenerates to DN
+            return self.g_ru.get(donor_matcher, 1.0)
+        return self.g.get(matcher, 1.0)
+
+    def h_of(self, matcher: str,
+             donor_matcher: Optional[str] = None) -> float:
+        if matcher == DN_NAME:
+            return 0.0
+        if matcher == RU_NAME:
+            if donor_matcher is None:
+                return 0.0
+            return self.h_ru.get(donor_matcher, 0.0)
+        return self.h.get(matcher, 0.0)
+
+    def s_of(self, matcher: str) -> float:
+        if matcher == DN_NAME:
+            return 0.0
+        return self.s.get(matcher, 1.0)
+
+
+@dataclass
+class Statistics:
+    """Everything the cost model needs to price a plan."""
+
+    f: float
+    """Fraction of pages with an earlier version (Figure 7b)."""
+
+    m: int
+    """Number of pages in the snapshot to be processed."""
+
+    d_blocks: float
+    """Raw page data size in blocks (previous snapshot)."""
+
+    units: Dict[str, UnitEstimates]
+    weights: CostWeights
+    v: int = DEFAULT_HASH_BUCKETS
+    sample_pages: int = 0
+    snapshots_used: int = 0
+
+
+__all__ = [
+    "CostWeights",
+    "UnitEstimates",
+    "Statistics",
+    "probe_io_weight",
+    "DEFAULT_HASH_BUCKETS",
+    "DN_NAME",
+    "UD_NAME",
+    "ST_NAME",
+    "RU_NAME",
+]

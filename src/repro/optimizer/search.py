@@ -1,0 +1,126 @@
+"""Greedy chain-based plan search (Algorithm 1, Section 6.2).
+
+The plan space (one matcher per IE unit) is exponential, and plan cost
+is not decomposable because RU units recycle the matching work of other
+units. Algorithm 1 tames it:
+
+1. partition the execution tree into IE chains;
+2. sort chains by their from-scratch cost estimate, most expensive
+   first;
+3. for the most expensive chain, pick the best plan from the family
+   ``M``: all-DN, or one ST/UD at some unit with RU above it and DN
+   below it (plans with two expensive matchers are dominated because
+   RU is nearly free);
+4. for each later chain, compare its best standalone plan against the
+   all-RU plan recycling an earlier chain's bottom matcher, and keep
+   the cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME
+from ..plan.units import IEChain, IEUnit, partition_chains
+from ..reuse.engine import PlanAssignment
+from .cost import plan_cost, unit_cost
+from .params import Statistics
+
+
+@dataclass
+class SearchResult:
+    assignment: PlanAssignment
+    estimated_cost: float
+    chain_order: List[str] = field(default_factory=list)
+    considered: int = 0
+
+
+def _chain_scratch_cost(chain: IEChain, stats: Statistics) -> float:
+    return sum(unit_cost(u, DN_NAME, stats, None) for u in chain.units)
+
+
+def _chain_plans(chain: IEChain) -> List[Dict[str, str]]:
+    """The candidate family M' for one chain (FindBest, lines 3–11).
+
+    ``chain.units`` is top-down: units[0] is the topmost consumer. The
+    "ancestors" of unit j (which get RU) are the units above it —
+    indices < j; the "descendants" (which get DN) are indices > j.
+    """
+    plans: List[Dict[str, str]] = [
+        {u.uid: DN_NAME for u in chain.units}]
+    for j, unit in enumerate(chain.units):
+        for expensive in (ST_NAME, UD_NAME):
+            plan = {}
+            for i, other in enumerate(chain.units):
+                if i == j:
+                    plan[other.uid] = expensive
+                elif i < j:
+                    plan[other.uid] = RU_NAME
+                else:
+                    plan[other.uid] = DN_NAME
+            plans.append(plan)
+    return plans
+
+
+def _full_assignment(partial: Dict[str, str],
+                     units: Sequence[IEUnit]) -> PlanAssignment:
+    """Extend a partial per-chain plan with DN for unassigned units
+    (placeholder while other chains are still uncovered)."""
+    matchers = {u.uid: partial.get(u.uid, DN_NAME) for u in units}
+    return PlanAssignment(matchers)
+
+
+def search_plan(units: Sequence[IEUnit], stats: Statistics,
+                chains: Optional[Sequence[IEChain]] = None) -> SearchResult:
+    """Run Algorithm 1 and return the chosen matcher assignment."""
+    if chains is None:
+        chains = partition_chains(list(units))
+    ordered = sorted(chains, key=lambda c: -_chain_scratch_cost(c, stats))
+    chosen: Dict[str, str] = {}
+    considered = 0
+
+    def cost_with(partial: Dict[str, str]) -> float:
+        merged = dict(chosen)
+        merged.update(partial)
+        return plan_cost(units, _full_assignment(merged, units), stats)
+
+    for i, chain in enumerate(ordered):
+        best_plan: Optional[Dict[str, str]] = None
+        best_cost = float("inf")
+        for plan in _chain_plans(chain):
+            considered += 1
+            cost = cost_with(plan)
+            if cost < best_cost:
+                best_plan, best_cost = plan, cost
+        if i > 0:
+            # Cross-chain alternative: all-RU recycling an earlier
+            # chain's bottom matcher (Algorithm 1, lines 9–13).
+            bottoms = [c.bottom for c in ordered[:i]]
+            donor_available = any(
+                chosen.get(b.uid) in (ST_NAME, UD_NAME)
+                and _has_raw_page_input(b)
+                for b in bottoms)
+            if donor_available:
+                ru_plan = {u.uid: RU_NAME for u in chain.units}
+                considered += 1
+                cost = cost_with(ru_plan)
+                if cost < best_cost:
+                    best_plan, best_cost = ru_plan, cost
+        assert best_plan is not None
+        chosen.update(best_plan)
+
+    assignment = _full_assignment(chosen, units)
+    return SearchResult(assignment=assignment,
+                        estimated_cost=plan_cost(units, assignment, stats),
+                        chain_order=[c.bottom.uid for c in ordered],
+                        considered=considered)
+
+
+def _has_raw_page_input(unit: IEUnit) -> bool:
+    """True when the unit's input is the raw data page (a scan var)."""
+    from ..plan.operators import ScanNode
+    from ..plan.units import _binder_of
+
+    binder = _binder_of(unit.ie_node.child, unit.in_var)
+    return isinstance(binder, ScanNode)

@@ -1,0 +1,35 @@
+"""Execution plans: operators, xlog compiler, IE units and chains."""
+
+from .compile import CompiledPlan, CompileError, compile_program
+from .operators import (
+    IENode,
+    JoinNode,
+    Node,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    TupleRow,
+    UnionNode,
+    evaluate_plain,
+)
+from .units import IEChain, IEUnit, find_units, partition_chains, producer_unit
+
+__all__ = [
+    "Node",
+    "ScanNode",
+    "IENode",
+    "SelectNode",
+    "ProjectNode",
+    "JoinNode",
+    "UnionNode",
+    "TupleRow",
+    "evaluate_plain",
+    "compile_program",
+    "CompiledPlan",
+    "CompileError",
+    "IEUnit",
+    "IEChain",
+    "find_units",
+    "partition_chains",
+    "producer_unit",
+]

@@ -1,0 +1,220 @@
+"""Translate xlog programs into executable plan DAGs.
+
+The compiler mirrors the translation of Shen et al. (VLDB-07) that the
+paper relies on: body atoms become a left-deep mix of scans, IE nodes,
+selections, and joins, with two IE-centric policies:
+
+* **selections are pushed down** to the earliest point where their
+  arguments are bound — which is what lets σ's be absorbed into IE
+  units (Section 4, "reuse at the level of IE units");
+* **common subplans are shared across rules** (structural CSE), so a
+  program whose rules all start with the same segmenter executes — and
+  captures reuse data for — that segmenter exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..xlog.ast import Atom, Program, Rule, Var
+from ..xlog.registry import Registry
+from ..xlog.validation import validate_program
+from .operators import (
+    IENode,
+    JoinNode,
+    Node,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    UnionNode,
+)
+
+
+class CompileError(ValueError):
+    """Raised when a validated program still cannot be planned."""
+
+
+@dataclass
+class _Branch:
+    """A partial subplan and the variables it binds."""
+
+    node: Node
+
+    @property
+    def bound(self) -> frozenset:
+        return self.node.out_vars
+
+
+class _Compiler:
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self._cse: Dict[str, Node] = {}
+        self.roots: Dict[str, Node] = {}
+
+    def _shared(self, node: Node) -> Node:
+        return self._cse.setdefault(node.signature, node)
+
+    def compile_rule(self, rule: Rule) -> Node:
+        branches: List[_Branch] = []
+        pending: List[Atom] = list(rule.body)
+        # Place atoms in body order; p-functions wait until bound.
+        deferred: List[Atom] = []
+        while pending or deferred:
+            progressed = False
+            for atom in list(deferred):
+                if self._try_function(atom, branches):
+                    deferred.remove(atom)
+                    progressed = True
+            if pending:
+                atom = pending.pop(0)
+                kind = self.registry.kind_of(atom.pred)
+                if kind is None and atom.pred in self.roots:
+                    kind = "derived"
+                if kind == "docs":
+                    scan = self._shared(ScanNode(atom.args[0].name))
+                    branches.append(_Branch(scan))
+                elif kind == "ie":
+                    self._add_ie(atom, branches)
+                elif kind == "derived":
+                    self._add_derived(atom, branches)
+                elif kind == "function":
+                    if not self._try_function(atom, branches):
+                        deferred.append(atom)
+                else:
+                    raise CompileError(f"unknown predicate {atom.pred!r}")
+                progressed = True
+            if not progressed:
+                raise CompileError(
+                    f"cannot bind arguments of {deferred[0]} in rule {rule}")
+        top = self._join_all(branches, rule)
+        head_vars = [t.name for t in rule.head.args if isinstance(t, Var)]
+        project = self._shared(
+            ProjectNode(top, [(v, v) for v in head_vars]))
+        return project
+
+    def _add_ie(self, atom: Atom, branches: List[_Branch]) -> None:
+        extractor = self.registry.extractor(atom.pred)
+        in_var = atom.args[0].name
+        out_args = [t.name for t in atom.args[1:]]  # validated as Vars
+        branch = self._branch_binding(branches, [in_var])
+        if branch is None:
+            raise CompileError(
+                f"input {in_var!r} of {atom.pred!r} is not bound")
+        node = self._shared(IENode(branch.node, extractor, in_var, out_args))
+        branch.node = node
+
+    def _add_derived(self, atom: Atom, branches: List[_Branch]) -> None:
+        root = self.roots[atom.pred]
+        arg_names = [t.name for t in atom.args if isinstance(t, Var)]
+        head_order = sorted(root.out_vars)
+        if isinstance(root, ProjectNode):
+            head_order = [out for out, _ in root.mappings]
+        elif isinstance(root, UnionNode) and \
+                isinstance(root.children[0], ProjectNode):
+            head_order = [out for out, _ in root.children[0].mappings]
+        if len(arg_names) != len(head_order):
+            raise CompileError(
+                f"derived atom {atom} arity mismatch with {atom.pred!r}")
+        mappings = list(zip(arg_names, head_order))
+        node = self._shared(ProjectNode(root, mappings))
+        branches.append(_Branch(node))
+
+    def _try_function(self, atom: Atom,
+                      branches: List[_Branch]) -> bool:
+        entry = self.registry.function(atom.pred)
+        arg_vars = [t.name for t in atom.vars()]
+        branch = self._branch_binding(branches, arg_vars)
+        if branch is not None:
+            branch.node = self._shared(
+                SelectNode(branch.node, entry, atom.args))
+            return True
+        # Try joining the branches that together bind the arguments.
+        involved = [b for b in branches
+                    if any(v in b.bound for v in arg_vars)]
+        if not involved:
+            return False
+        bound = frozenset().union(*(b.bound for b in involved))
+        if not all(v in bound for v in arg_vars):
+            return False
+        merged = involved[0]
+        for other in involved[1:]:
+            merged.node = self._shared(JoinNode(merged.node, other.node))
+            branches.remove(other)
+        merged.node = self._shared(SelectNode(merged.node, entry, atom.args))
+        return True
+
+    def _branch_binding(self, branches: List[_Branch],
+                        arg_vars: Sequence[str]) -> Optional[_Branch]:
+        for branch in branches:
+            if all(v in branch.bound for v in arg_vars):
+                return branch
+        return None
+
+    def _join_all(self, branches: List[_Branch], rule: Rule) -> Node:
+        if not branches:
+            raise CompileError(f"rule {rule} has an empty body plan")
+        node = branches[0].node
+        for branch in branches[1:]:
+            node = self._shared(JoinNode(node, branch.node))
+        return node
+
+
+@dataclass
+class CompiledPlan:
+    """A compiled program: one root per head relation, plus metadata."""
+
+    program: Program
+    registry: Registry
+    roots: Dict[str, Node]
+
+    def all_nodes(self) -> List[Node]:
+        """All distinct nodes, children before parents (topo order)."""
+        seen: Dict[int, Node] = {}
+        order: List[Node] = []
+
+        def visit(node: Node) -> None:
+            if id(node) in seen:
+                return
+            seen[id(node)] = node
+            for child in node.children:
+                visit(child)
+            order.append(node)
+
+        for name in self.program.head_relations():
+            visit(self.roots[name])
+        return order
+
+    def parents(self) -> Dict[int, List[Node]]:
+        """Map ``id(node)`` -> distinct parent nodes."""
+        out: Dict[int, List[Node]] = {}
+        for node in self.all_nodes():
+            out.setdefault(id(node), [])
+            for child in node.children:
+                lst = out.setdefault(id(child), [])
+                if not any(p is node for p in lst):
+                    lst.append(node)
+        return out
+
+
+def compile_program(program: Program, registry: Registry,
+                    validate: bool = True) -> CompiledPlan:
+    """Compile (and by default validate) an xlog program."""
+    if validate:
+        validate_program(program, registry)
+    compiler = _Compiler(registry)
+    rule_roots: Dict[str, List[Node]] = {}
+    roots: Dict[str, Node] = {}
+    for rule in program.rules:
+        root = compiler.compile_rule(rule)
+        rule_roots.setdefault(rule.head.pred, []).append(root)
+        # Multiple rules for one head union together; later rules (and
+        # derived-atom uses) see the union built so far.
+        branches = rule_roots[rule.head.pred]
+        if len(branches) == 1:
+            combined = branches[0]
+        else:
+            combined = compiler._shared(UnionNode(branches))
+        roots[rule.head.pred] = combined
+        compiler.roots[rule.head.pred] = combined
+    return CompiledPlan(program=program, registry=registry, roots=roots)

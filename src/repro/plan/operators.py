@@ -1,0 +1,285 @@
+"""Execution-plan nodes and plain (no-reuse) evaluation.
+
+A compiled plan is a DAG of operator nodes evaluated one page at a
+time. Tuples are dicts mapping variable names to values — spans
+(:class:`~repro.text.span.Span`, absolute page offsets) or scalars.
+Common subtrees are shared across rules (the compiler does CSE), so
+evaluation memoizes node outputs per page.
+
+The reuse engine replaces the evaluation of IE-unit tops with its own
+capture/reuse logic; everything else runs through
+:func:`evaluate_plain` semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..extractors.base import Extraction, Extractor, RelSpan
+from ..text.span import Span
+from ..xlog.ast import Term, Var
+from ..xlog.registry import EvalContext, PFunctionEntry
+
+TupleRow = Dict[str, object]
+
+
+class Node:
+    """Base class of plan nodes. Nodes are immutable once built."""
+
+    def __init__(self, children: Sequence["Node"]) -> None:
+        self.children: Tuple[Node, ...] = tuple(children)
+        self.out_vars: frozenset = frozenset()
+        self._signature: Optional[str] = None
+
+    def _sig_body(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def signature(self) -> str:
+        """Canonical structural key (used for CSE and stable unit ids)."""
+        if self._signature is None:
+            inner = ",".join(c.signature for c in self.children)
+            self._signature = f"{self._sig_body()}[{inner}]"
+        return self._signature
+
+    @property
+    def short_id(self) -> str:
+        return hashlib.sha1(self.signature.encode()).hexdigest()[:10]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._sig_body()})"
+
+
+class ScanNode(Node):
+    """``docs(d)`` — emits one tuple binding ``var`` to the whole page."""
+
+    def __init__(self, var: str) -> None:
+        super().__init__(())
+        self.var = var
+        self.out_vars = frozenset([var])
+
+    def _sig_body(self) -> str:
+        return f"scan:{self.var}"
+
+
+class IENode(Node):
+    """An IE predicate application: run ``extractor`` on the region
+    bound to ``in_var`` and extend tuples with its outputs.
+
+    ``out_args`` are the program-level variable names, positionally
+    aligned with ``extractor.output_vars``.
+    """
+
+    def __init__(self, child: Node, extractor: Extractor, in_var: str,
+                 out_args: Sequence[str]) -> None:
+        super().__init__((child,))
+        if len(out_args) != len(extractor.output_vars):
+            raise ValueError(
+                f"{extractor.name}: expected {len(extractor.output_vars)} "
+                f"output arguments, got {len(out_args)}")
+        self.extractor = extractor
+        self.in_var = in_var
+        self.out_args = tuple(out_args)
+        self.out_vars = child.out_vars | frozenset(out_args)
+        self._rename = dict(zip(extractor.output_vars, out_args))
+
+    @property
+    def child(self) -> Node:
+        return self.children[0]
+
+    def span_out_args(self) -> Tuple[str, ...]:
+        """Output argument names carrying spans (vs scalars)."""
+        scalars = set(getattr(self.extractor, "scalars", ()) or ())
+        return tuple(self._rename[v] for v in self.extractor.output_vars
+                     if v not in scalars)
+
+    def extension_fields(self, extraction: Extraction,
+                         region: Span) -> Dict[str, object]:
+        """Convert one extraction into absolute-offset tuple fields."""
+        fields: Dict[str, object] = {}
+        for var, value in extraction.fields:
+            name = self._rename[var]
+            if isinstance(value, RelSpan):
+                fields[name] = Span(region.did, region.start + value.start,
+                                    region.start + value.end)
+            else:
+                fields[name] = value
+        return fields
+
+    def _sig_body(self) -> str:
+        return (f"ie:{self.extractor.name}:{self.in_var}"
+                f"->{','.join(self.out_args)}")
+
+
+class SelectNode(Node):
+    """A p-function selection σ."""
+
+    def __init__(self, child: Node, entry: PFunctionEntry,
+                 args: Sequence[Term]) -> None:
+        super().__init__((child,))
+        self.entry = entry
+        self.args = tuple(args)
+        self.out_vars = child.out_vars
+
+    @property
+    def child(self) -> Node:
+        return self.children[0]
+
+    def arg_vars(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.args if isinstance(a, Var))
+
+    def passes(self, row: TupleRow, ctx: EvalContext) -> bool:
+        values = [row[a.name] if isinstance(a, Var) else a for a in self.args]
+        return bool(self.entry.func(ctx, *values))
+
+    def _sig_body(self) -> str:
+        inner = ",".join(
+            a.name if isinstance(a, Var) else repr(a) for a in self.args)
+        return f"select:{self.entry.name}({inner})"
+
+
+class ProjectNode(Node):
+    """A projection π, optionally renaming (for derived-atom use)."""
+
+    def __init__(self, child: Node,
+                 mappings: Sequence[Tuple[str, str]]) -> None:
+        super().__init__((child,))
+        self.mappings = tuple(mappings)  # (out_name, in_name)
+        self.out_vars = frozenset(out for out, _ in self.mappings)
+        missing = [src for _, src in self.mappings
+                   if src not in child.out_vars]
+        if missing:
+            raise ValueError(f"projection sources {missing} not available "
+                             f"from {sorted(child.out_vars)}")
+
+    @property
+    def child(self) -> Node:
+        return self.children[0]
+
+    def is_rename_free(self) -> bool:
+        return all(out == src for out, src in self.mappings)
+
+    def apply(self, row: TupleRow) -> TupleRow:
+        return {out: row[src] for out, src in self.mappings}
+
+    def _sig_body(self) -> str:
+        inner = ",".join(f"{o}<-{s}" for o, s in self.mappings)
+        return f"project:{inner}"
+
+
+class UnionNode(Node):
+    """Set union of same-schema subplans (multiple rules, one head)."""
+
+    def __init__(self, children: Sequence[Node]) -> None:
+        if len(children) < 2:
+            raise ValueError("union needs at least two branches")
+        super().__init__(children)
+        schema = children[0].out_vars
+        for child in children[1:]:
+            if child.out_vars != schema:
+                raise ValueError(
+                    f"union branches disagree on schema: "
+                    f"{sorted(schema)} vs {sorted(child.out_vars)}")
+        self.out_vars = schema
+
+    def _sig_body(self) -> str:
+        return "union"
+
+
+class JoinNode(Node):
+    """Natural join of two subplans on their shared variables."""
+
+    def __init__(self, left: Node, right: Node) -> None:
+        super().__init__((left, right))
+        self.on = tuple(sorted(left.out_vars & right.out_vars))
+        self.out_vars = left.out_vars | right.out_vars
+
+    @property
+    def left(self) -> Node:
+        return self.children[0]
+
+    @property
+    def right(self) -> Node:
+        return self.children[1]
+
+    def _sig_body(self) -> str:
+        return f"join:{','.join(self.on)}"
+
+
+def hash_join(left_rows: List[TupleRow], right_rows: List[TupleRow],
+              on: Sequence[str]) -> List[TupleRow]:
+    """Hash join on equality of the ``on`` variables."""
+    if not on:
+        return [{**l, **r} for l in left_rows for r in right_rows]
+    buckets: Dict[Tuple, List[TupleRow]] = {}
+    for row in left_rows:
+        buckets.setdefault(tuple(row[v] for v in on), []).append(row)
+    out: List[TupleRow] = []
+    for row in right_rows:
+        for match in buckets.get(tuple(row[v] for v in on), ()):
+            out.append({**match, **row})
+    return out
+
+
+def dedupe_rows(rows: List[TupleRow]) -> List[TupleRow]:
+    """Remove duplicate tuples, preserving first-seen order."""
+    seen = set()
+    out: List[TupleRow] = []
+    for row in rows:
+        key = tuple(sorted(row.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+# -- plain evaluation --------------------------------------------------------
+
+UnitHandler = Callable[[Node, List[TupleRow]], List[TupleRow]]
+
+
+def evaluate_plain(node: Node, page_text: str, did: str,
+                   memo: Dict[int, List[TupleRow]]) -> List[TupleRow]:
+    """Evaluate a plan node on one page with no reuse.
+
+    ``memo`` caches node outputs by ``id(node)`` for DAG sharing; pass a
+    fresh dict per page.
+    """
+    key = id(node)
+    if key in memo:
+        return memo[key]
+    ctx = EvalContext(page_text, did)
+    if isinstance(node, ScanNode):
+        rows: List[TupleRow] = [{node.var: Span(did, 0, len(page_text))}]
+    elif isinstance(node, IENode):
+        rows = []
+        child_rows = evaluate_plain(node.child, page_text, did, memo)
+        for row in child_rows:
+            region = row[node.in_var]
+            if not isinstance(region, Span):
+                raise TypeError(
+                    f"{node.extractor.name}: input {node.in_var!r} is not "
+                    "a span")
+            text = page_text[region.start:region.end]
+            for extraction in node.extractor.extract(text):
+                rows.append({**row, **node.extension_fields(extraction,
+                                                            region)})
+    elif isinstance(node, SelectNode):
+        child_rows = evaluate_plain(node.child, page_text, did, memo)
+        rows = [r for r in child_rows if node.passes(r, ctx)]
+    elif isinstance(node, ProjectNode):
+        child_rows = evaluate_plain(node.child, page_text, did, memo)
+        rows = dedupe_rows([node.apply(r) for r in child_rows])
+    elif isinstance(node, JoinNode):
+        left_rows = evaluate_plain(node.left, page_text, did, memo)
+        right_rows = evaluate_plain(node.right, page_text, did, memo)
+        rows = hash_join(left_rows, right_rows, node.on)
+    elif isinstance(node, UnionNode):
+        rows = dedupe_rows([row for child in node.children
+                            for row in evaluate_plain(child, page_text,
+                                                      did, memo)])
+    else:
+        raise TypeError(f"unknown node type {type(node).__name__}")
+    memo[key] = rows
+    return rows

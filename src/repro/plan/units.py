@@ -1,0 +1,235 @@
+"""IE units (Definition 5) and IE chains (Definition 6).
+
+An *IE unit* is an IE blackbox plus the maximal single-parent chain of
+σ/π operators above it that reference only the blackbox's outputs.
+Reuse happens at unit granularity: the unit's post-σ/π output is what
+gets captured, which is strictly cheaper than capturing raw blackbox
+output (Section 4).
+
+σ/π absorption rules (these are what make the (α, β) of the blackbox
+transfer wholesale to the unit):
+
+* a σ is absorbed iff all its variable arguments are unit output
+  fields — a σ reading the unit's *input* region or other variables
+  would make the unit's context unbounded;
+* a π is absorbed iff it is rename-free, keeps only unit output
+  fields, and keeps at least one span field (Definition 4 requires a
+  span output);
+* absorption stops at any node with more than one parent (shared
+  subplans feed multiple consumers; their results must stay intact).
+
+An *IE chain* is a maximal path of IE units each extracting from
+regions produced by the next. When a producing unit feeds several
+units, the first consumer (in plan order) continues the chain and the
+others start their own — this makes the partition deterministic, and
+unique in the common case the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..extractors.base import Extractor
+from ..xlog.registry import EvalContext
+from .compile import CompiledPlan
+from .operators import IENode, JoinNode, Node, ProjectNode, ScanNode, SelectNode
+
+
+@dataclass
+class IEUnit:
+    """One reuse unit: an IE node plus absorbed σ/π operators."""
+
+    uid: str
+    index: int
+    ie_node: IENode
+    absorbed: Tuple[Node, ...]  # bottom-up, all SelectNode/ProjectNode
+
+    @property
+    def top(self) -> Node:
+        return self.absorbed[-1] if self.absorbed else self.ie_node
+
+    @property
+    def extractor(self) -> Extractor:
+        return self.ie_node.extractor
+
+    @property
+    def in_var(self) -> str:
+        return self.ie_node.in_var
+
+    @property
+    def alpha(self) -> int:
+        """Unit scope — exactly the blackbox's (Section 4)."""
+        return self.extractor.scope
+
+    @property
+    def beta(self) -> int:
+        """Unit context — exactly the blackbox's (Section 4)."""
+        return self.extractor.context
+
+    @property
+    def out_fields(self) -> Tuple[str, ...]:
+        """Extension fields the unit contributes, after absorbed π."""
+        fields = list(self.ie_node.out_args)
+        for node in self.absorbed:
+            if isinstance(node, ProjectNode):
+                keep = {out for out, _ in node.mappings}
+                fields = [f for f in fields if f in keep]
+        return tuple(fields)
+
+    @property
+    def projects_away_input(self) -> bool:
+        """True when an absorbed π drops pass-through variables."""
+        return any(isinstance(n, ProjectNode) for n in self.absorbed)
+
+    def apply_absorbed(self, extension: Dict[str, object],
+                       ctx: EvalContext) -> Optional[Dict[str, object]]:
+        """Run the absorbed σ/π over one extension; None if filtered."""
+        row: Optional[Dict[str, object]] = extension
+        for node in self.absorbed:
+            if isinstance(node, SelectNode):
+                if not node.passes(row, ctx):
+                    return None
+            else:  # ProjectNode, rename-free by construction
+                row = {out: row[src] for out, src in node.mappings}
+        return row
+
+    def __repr__(self) -> str:
+        return f"IEUnit({self.uid})"
+
+
+def _absorbable(node: Node, unit_fields: frozenset,
+                span_fields: frozenset) -> bool:
+    if isinstance(node, SelectNode):
+        return all(v in unit_fields for v in node.arg_vars())
+    if isinstance(node, ProjectNode):
+        if not node.is_rename_free():
+            return False
+        keep = {out for out, _ in node.mappings}
+        if not keep <= unit_fields:
+            return False
+        return bool(keep & span_fields)
+    return False
+
+
+def find_units(plan: CompiledPlan, absorb: bool = True) -> List[IEUnit]:
+    """Identify all IE units of a compiled plan, in topological order.
+
+    ``absorb=False`` turns off σ/π absorption, degenerating IE units to
+    bare blackboxes — the reuse-at-blackbox-level alternative Section 4
+    argues against (the ablation benchmark measures the difference).
+    """
+    parents = plan.parents()
+    units: List[IEUnit] = []
+    used_uids: Dict[str, int] = {}
+    for index, node in enumerate(plan.all_nodes()):
+        if not isinstance(node, IENode):
+            continue
+        unit_fields = frozenset(node.out_args)
+        span_fields = frozenset(node.span_out_args())
+        absorbed: List[Node] = []
+        top: Node = node
+        while absorb:
+            ps = parents.get(id(top), [])
+            if len(ps) != 1:
+                break
+            parent = ps[0]
+            if not _absorbable(parent, unit_fields, span_fields):
+                break
+            absorbed.append(parent)
+            if isinstance(parent, ProjectNode):
+                keep = frozenset(out for out, _ in parent.mappings)
+                unit_fields = unit_fields & keep
+                span_fields = span_fields & keep
+            top = parent
+        base_uid = node.extractor.name
+        serial = used_uids.get(base_uid, 0)
+        used_uids[base_uid] = serial + 1
+        uid = base_uid if serial == 0 else f"{base_uid}#{serial}"
+        units.append(IEUnit(uid=uid, index=len(units), ie_node=node,
+                            absorbed=tuple(absorbed)))
+    return units
+
+
+def units_by_top(units: Sequence[IEUnit]) -> Dict[int, IEUnit]:
+    """Map ``id(unit.top)`` -> unit, for the executors."""
+    return {id(u.top): u for u in units}
+
+
+def _binder_of(node: Node, var: str) -> Optional[Node]:
+    """The node that binds ``var`` below (or at) ``node``."""
+    if isinstance(node, ScanNode):
+        return node if node.var == var else None
+    if isinstance(node, IENode):
+        if var in node.out_args:
+            return node
+        return _binder_of(node.child, var)
+    if isinstance(node, SelectNode):
+        return _binder_of(node.child, var)
+    if isinstance(node, ProjectNode):
+        for out, src in node.mappings:
+            if out == var:
+                return _binder_of(node.child, src)
+        return None
+    if isinstance(node, JoinNode):
+        return (_binder_of(node.left, var)
+                or _binder_of(node.right, var))
+    return None
+
+
+def producer_unit(unit: IEUnit, units: Sequence[IEUnit]) -> Optional[IEUnit]:
+    """The unit producing the regions ``unit`` extracts from, if any."""
+    binder = _binder_of(unit.ie_node.child, unit.in_var)
+    if binder is None or not isinstance(binder, IENode):
+        return None
+    for candidate in units:
+        if candidate.ie_node is binder:
+            return candidate
+    return None
+
+
+@dataclass
+class IEChain:
+    """A maximal producer/consumer path of IE units, listed top-down
+    (``units[0]`` consumes the output of ``units[1]``, etc.)."""
+
+    units: Tuple[IEUnit, ...]
+
+    @property
+    def top(self) -> IEUnit:
+        return self.units[0]
+
+    @property
+    def bottom(self) -> IEUnit:
+        return self.units[-1]
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    def __repr__(self) -> str:
+        inner = " <- ".join(u.uid for u in reversed(self.units))
+        return f"IEChain({inner})"
+
+
+def partition_chains(units: Sequence[IEUnit]) -> List[IEChain]:
+    """Partition units into IE chains (Definition 6)."""
+    producers: Dict[str, Optional[IEUnit]] = {
+        u.uid: producer_unit(u, units) for u in units}
+    continuation: Dict[str, IEUnit] = {}
+    for unit in units:  # units are in topo order; first consumer wins
+        producer = producers[unit.uid]
+        if producer is not None and producer.uid not in continuation:
+            continuation[producer.uid] = unit
+    continued = {c.uid for c in continuation.values()}
+    chains: List[IEChain] = []
+    for unit in units:
+        if unit.uid in continued:
+            continue  # not a chain bottom: it continues its producer
+        # ``unit`` is the bottom of a chain; follow continuations upward.
+        path = [unit]
+        cursor = unit
+        while cursor.uid in continuation:
+            cursor = continuation[cursor.uid]
+            path.append(cursor)
+        chains.append(IEChain(tuple(reversed(path))))
+    return chains

@@ -1,0 +1,132 @@
+"""Capture-file analysis: inspect what a run recorded.
+
+The paper's storage/I-O accounting (end of Section 4) bounds the total
+reuse-file footprint by O(|T| · B(P_n)). These helpers measure the
+actual footprint of a capture directory so deployments can check that
+bound, find units with runaway output, and debug reuse behavior.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..plan.units import IEUnit
+from .files import BLOCK_SIZE, iter_all_pages
+
+
+@dataclass
+class UnitCaptureStats:
+    """Footprint of one unit's I/O reuse files."""
+
+    uid: str
+    input_tuples: int = 0
+    output_tuples: int = 0
+    i_bytes: int = 0
+    o_bytes: int = 0
+    pages: int = 0
+
+    @property
+    def i_blocks(self) -> int:
+        return (self.i_bytes + BLOCK_SIZE - 1) // BLOCK_SIZE
+
+    @property
+    def o_blocks(self) -> int:
+        return (self.o_bytes + BLOCK_SIZE - 1) // BLOCK_SIZE
+
+    @property
+    def outputs_per_input(self) -> float:
+        if self.input_tuples == 0:
+            return 0.0
+        return self.output_tuples / self.input_tuples
+
+
+@dataclass
+class CaptureReport:
+    """Footprint of a whole capture directory."""
+
+    directory: str
+    units: Dict[str, UnitCaptureStats] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(u.i_bytes + u.o_bytes for u in self.units.values())
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(u.i_blocks + u.o_blocks for u in self.units.values())
+
+    def within_paper_bound(self, corpus_bytes: int,
+                           slack: float = 4.0) -> bool:
+        """Check the O(|T| · B(P_n)) storage bound of Section 4.
+
+        ``slack`` absorbs record framing overhead (tids, JSON syntax);
+        the bound is about asymptotics, not constants.
+        """
+        bound = slack * len(self.units) * max(1, corpus_bytes)
+        return self.total_bytes <= bound
+
+    def render(self) -> str:
+        lines = [f"capture {self.directory}",
+                 f"{'unit':<24}{'pages':>7}{'inputs':>8}{'outputs':>9}"
+                 f"{'I blk':>7}{'O blk':>7}{'out/in':>8}"]
+        for uid in sorted(self.units):
+            u = self.units[uid]
+            lines.append(f"{uid:<24}{u.pages:>7}{u.input_tuples:>8}"
+                         f"{u.output_tuples:>9}{u.i_blocks:>7}"
+                         f"{u.o_blocks:>7}{u.outputs_per_input:>8.2f}")
+        lines.append(f"total: {self.total_bytes} bytes "
+                     f"({self.total_blocks} blocks)")
+        return "\n".join(lines)
+
+
+def _unit_files(directory: str) -> Dict[str, Dict[str, str]]:
+    """Map uid -> {"I": path, "O": path} for a capture directory."""
+    out: Dict[str, Dict[str, str]] = {}
+    for name in os.listdir(directory):
+        if not name.endswith(".reuse"):
+            continue
+        stem = name[:-len(".reuse")]
+        uid, _, kind = stem.rpartition(".")
+        if kind in ("I", "O") and uid:
+            out.setdefault(uid, {})[kind] = os.path.join(directory, name)
+    return out
+
+
+def analyze_capture(directory: str,
+                    units: Optional[Sequence[IEUnit]] = None
+                    ) -> CaptureReport:
+    """Scan a capture directory and report per-unit footprints.
+
+    ``units`` restricts (and labels) the report; by default every
+    ``*.I.reuse``/``*.O.reuse`` pair found is analyzed.
+    """
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(directory)
+    files = _unit_files(directory)
+    if units is not None:
+        from .engine import _safe_filename
+        wanted = {_safe_filename(u.uid) for u in units}
+        files = {uid: paths for uid, paths in files.items()
+                 if uid in wanted}
+    report = CaptureReport(directory=directory)
+    for uid, paths in sorted(files.items()):
+        stats = UnitCaptureStats(uid=uid)
+        if "I" in paths:
+            stats.i_bytes = os.path.getsize(paths["I"])
+            for _, records in iter_all_pages(paths["I"]):
+                stats.pages += 1
+                stats.input_tuples += len(records)
+        if "O" in paths:
+            stats.o_bytes = os.path.getsize(paths["O"])
+            for _, records in iter_all_pages(paths["O"]):
+                stats.output_tuples += len(records)
+        report.units[uid] = stats
+    return report
+
+
+def mentions_per_page(o_path: str) -> List[int]:
+    """Output-tuple counts per page of one O reuse file (in page
+    order) — handy for spotting pathological pages."""
+    return [len(records) for _, records in iter_all_pages(o_path)]

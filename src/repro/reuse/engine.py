@@ -1,0 +1,415 @@
+"""The Delex execution engine (Sections 4, 5, 7).
+
+Processes a corpus snapshot one page at a time, in the same page order
+as the previous snapshot, so each unit's reuse files are scanned
+sequentially exactly once. Per IE unit and input region it:
+
+1. records the input tuple to ``I_U^{n+1}``;
+2. matches the region against the unit's recorded input regions on the
+   previous version of the page, with the unit's assigned matcher
+   (ST/UD results are recorded in the page pair's match cache so RU
+   units can recycle them);
+3. derives copy zones and extraction regions (α/β safety), copies
+   recorded output tuples, re-extracts only the extraction regions;
+4. records all output tuples (copied or fresh) to ``O_U^{n+1}`` and
+   hands them to the parent operator.
+
+Every other operator (joins, non-absorbed σ/π) runs as plain
+relational evaluation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..corpus.snapshot import Snapshot
+from ..matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME, MatchCache
+from ..matchers.registry import make_matcher
+from ..plan.compile import CompiledPlan
+from ..plan.operators import (
+    IENode,
+    JoinNode,
+    Node,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    TupleRow,
+    UnionNode,
+    dedupe_rows,
+    hash_join,
+)
+from ..plan.units import IEUnit, units_by_top
+from ..text.document import Page
+from ..text.regions import MatchSegment
+from ..text.span import Span
+from ..xlog.registry import EvalContext
+from ..timing import COPY, EXTRACT, IO, MATCH, Timer, Timings
+from .files import (
+    InputTuple,
+    OutputTuple,
+    ReuseFileReader,
+    ReuseFileWriter,
+    encode_fields,
+    group_outputs_by_input,
+    load_reuse_file,
+)
+from .regions import dedupe_extensions, derive_reuse, extraction_keep
+from .scope import PageMatchScope, SameUrlScope
+
+
+@dataclass(frozen=True)
+class PlanAssignment:
+    """Matcher name per IE-unit uid — one point of the plan space."""
+
+    matchers: Dict[str, str]
+
+    @classmethod
+    def uniform(cls, units: List[IEUnit], name: str) -> "PlanAssignment":
+        return cls({u.uid: name for u in units})
+
+    @classmethod
+    def all_dn(cls, units: List[IEUnit]) -> "PlanAssignment":
+        return cls.uniform(units, DN_NAME)
+
+    def of(self, unit: IEUnit) -> str:
+        return self.matchers[unit.uid]
+
+    def describe(self) -> str:
+        return ",".join(f"{uid}={m}" for uid, m in sorted(self.matchers.items()))
+
+
+@dataclass
+class UnitRunStats:
+    """Per-unit accounting for one snapshot run (feeds the optimizer)."""
+
+    input_tuples: int = 0
+    input_chars: int = 0
+    output_tuples: int = 0
+    copied_tuples: int = 0
+    matcher_calls: int = 0
+    extracted_chars: int = 0
+    copy_zone_chars: int = 0
+    i_blocks: int = 0
+    o_blocks: int = 0
+
+    @property
+    def extraction_fraction(self) -> float:
+        """The cost model's g: fraction of input chars re-extracted."""
+        if self.input_chars == 0:
+            return 0.0
+        return min(1.0, self.extracted_chars / self.input_chars)
+
+
+@dataclass
+class SnapshotRunResult:
+    """Output and accounting of running a plan over one snapshot."""
+
+    results: Dict[str, List[Tuple]]
+    timings: Timings
+    unit_stats: Dict[str, UnitRunStats] = field(default_factory=dict)
+    pages: int = 0
+    pages_with_previous: int = 0
+
+    def total_mentions(self) -> int:
+        return sum(len(rows) for rows in self.results.values())
+
+
+def materialize_rows(rows: List[TupleRow], page_text: str) -> List[Tuple]:
+    """Convert tuples into hashable, system-independent form."""
+    out: List[Tuple] = []
+    for row in rows:
+        items = []
+        for var in sorted(row):
+            value = row[var]
+            if isinstance(value, Span):
+                items.append((var, (value.start, value.end,
+                                    page_text[value.start:value.end])))
+            else:
+                items.append((var, value))
+        out.append(tuple(items))
+    return out
+
+
+def _safe_filename(uid: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in uid)
+
+
+class ReuseEngine:
+    """Executes a compiled plan over snapshots with unit-level reuse."""
+
+    def __init__(self, plan: CompiledPlan, units: List[IEUnit],
+                 assignment: PlanAssignment,
+                 scope: Optional[PageMatchScope] = None) -> None:
+        self.plan = plan
+        self.units = units
+        self.assignment = assignment
+        self.scope = scope if scope is not None else SameUrlScope()
+        self._unit_of_top = units_by_top(units)
+        self._memory_capture: Optional[
+            Dict[str, Tuple[Dict[str, List[InputTuple]],
+                            Dict[str, List[OutputTuple]]]]] = None
+        missing = [u.uid for u in units if u.uid not in assignment.matchers]
+        if missing:
+            raise ValueError(f"assignment missing units {missing}")
+        from ..matchers.registry import make_matcher
+        for uid, name in assignment.matchers.items():
+            # Fail fast on unknown matcher names instead of mid-run.
+            make_matcher(name, MatchCache())
+
+    # -- snapshot-level driver -------------------------------------------
+
+    def run_snapshot(self, snapshot: Snapshot,
+                     prev_snapshot: Optional[Snapshot],
+                     prev_dir: Optional[str], out_dir: str,
+                     timings: Optional[Timings] = None) -> SnapshotRunResult:
+        """Run the plan over ``snapshot``, reusing ``prev_dir`` capture.
+
+        ``prev_snapshot``/``prev_dir`` are None for the bootstrap run.
+        Capture for the *next* snapshot is written under ``out_dir``.
+        """
+        timings = timings if timings is not None else Timings()
+        timer = Timer(timings)
+        os.makedirs(out_dir, exist_ok=True)
+        writers = {
+            u.uid: (ReuseFileWriter(self._file(out_dir, u.uid, "I")),
+                    ReuseFileWriter(self._file(out_dir, u.uid, "O")))
+            for u in self.units
+        }
+        readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]] = {}
+        self._memory_capture = None
+        if prev_dir is not None and prev_snapshot is not None:
+            if self.scope.sequential_safe:
+                for u in self.units:
+                    i_path = self._file(prev_dir, u.uid, "I")
+                    o_path = self._file(prev_dir, u.uid, "O")
+                    if os.path.exists(i_path) and os.path.exists(o_path):
+                        readers[u.uid] = (ReuseFileReader(i_path),
+                                          ReuseFileReader(o_path))
+            else:
+                # Cross-URL pairing breaks the sequential access
+                # pattern; trade memory for random access.
+                self._memory_capture = {}
+                for u in self.units:
+                    i_path = self._file(prev_dir, u.uid, "I")
+                    o_path = self._file(prev_dir, u.uid, "O")
+                    if os.path.exists(i_path) and os.path.exists(o_path):
+                        self._memory_capture[u.uid] = (
+                            load_reuse_file(i_path, "I"),
+                            load_reuse_file(o_path, "O"))
+        stats = {u.uid: UnitRunStats() for u in self.units}
+        results: Dict[str, List[Tuple]] = {
+            rel: [] for rel in self.plan.program.head_relations()}
+        ordered = (snapshot.ordered_like(prev_snapshot)
+                   if prev_snapshot is not None else snapshot)
+        pages_with_prev = 0
+        self.scope.begin_snapshot(prev_snapshot)
+        try:
+            with timer.measure_total():
+                for page in ordered:
+                    q_page = self.scope.pair_for(page)
+                    if q_page is not None:
+                        pages_with_prev += 1
+                    cache = MatchCache()
+                    for uid, (wi, wo) in writers.items():
+                        wi.begin_page(page.did)
+                        wo.begin_page(page.did)
+                    page_rows = self._run_page(page, q_page, readers,
+                                               writers, cache, stats, timer)
+                    for rel, rows in page_rows.items():
+                        results[rel].extend(
+                            materialize_rows(rows, page.text))
+        finally:
+            for wi, wo in writers.values():
+                wi.close()
+                wo.close()
+            for ri, ro in readers.values():
+                ri.close()
+                ro.close()
+        for u in self.units:
+            wi, wo = writers[u.uid]
+            stats[u.uid].i_blocks = wi.blocks
+            stats[u.uid].o_blocks = wo.blocks
+        return SnapshotRunResult(results=results, timings=timings,
+                                 unit_stats=stats, pages=len(ordered),
+                                 pages_with_previous=pages_with_prev)
+
+    @staticmethod
+    def _file(directory: str, uid: str, kind: str) -> str:
+        return os.path.join(directory, f"{_safe_filename(uid)}.{kind}.reuse")
+
+    # -- per-page evaluation ----------------------------------------------
+
+    def _run_page(self, page: Page, q_page: Optional[Page],
+                  readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]],
+                  writers: Dict[str, Tuple[ReuseFileWriter, ReuseFileWriter]],
+                  cache: MatchCache, stats: Dict[str, UnitRunStats],
+                  timer: Timer) -> Dict[str, List[TupleRow]]:
+        memo: Dict[int, List[TupleRow]] = {}
+
+        def evaluate(node: Node) -> List[TupleRow]:
+            key = id(node)
+            if key in memo:
+                return memo[key]
+            unit = self._unit_of_top.get(key)
+            if unit is not None:
+                child_rows = evaluate(unit.ie_node.child)
+                rows = self._run_unit(unit, child_rows, page, q_page,
+                                      readers, writers, cache,
+                                      stats[unit.uid], timer)
+            elif isinstance(node, ScanNode):
+                rows = [{node.var: Span(page.did, 0, len(page.text))}]
+            elif isinstance(node, SelectNode):
+                ctx = EvalContext(page.text, page.did)
+                rows = [r for r in evaluate(node.child)
+                        if node.passes(r, ctx)]
+            elif isinstance(node, ProjectNode):
+                rows = dedupe_rows(
+                    [node.apply(r) for r in evaluate(node.child)])
+            elif isinstance(node, JoinNode):
+                rows = hash_join(evaluate(node.left), evaluate(node.right),
+                                 node.on)
+            elif isinstance(node, UnionNode):
+                rows = dedupe_rows([row for child in node.children
+                                    for row in evaluate(child)])
+            elif isinstance(node, IENode):
+                raise AssertionError(
+                    f"IENode {node.extractor.name} evaluated outside its "
+                    "unit — unit identification is broken")
+            else:
+                raise TypeError(f"unknown node type {type(node).__name__}")
+            memo[key] = rows
+            return rows
+
+        return {rel: evaluate(self.plan.roots[rel])
+                for rel in self.plan.program.head_relations()}
+
+    # -- per-unit execution with reuse --------------------------------------
+
+    def _run_unit(self, unit: IEUnit, input_rows: List[TupleRow],
+                  page: Page, q_page: Optional[Page],
+                  readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]],
+                  writers: Dict[str, Tuple[ReuseFileWriter, ReuseFileWriter]],
+                  cache: MatchCache, unit_stats: UnitRunStats,
+                  timer: Timer) -> List[TupleRow]:
+        matcher_name = self.assignment.of(unit)
+        writer_i, writer_o = writers[unit.uid]
+        ctx = EvalContext(page.text, page.did)
+
+        prev_inputs: List[InputTuple] = []
+        prev_outputs: Dict[int, List[OutputTuple]] = {}
+        if q_page is not None and self._memory_capture is not None:
+            mem = self._memory_capture.get(unit.uid)
+            if mem is not None:
+                prev_inputs = mem[0].get(q_page.did, [])
+                prev_outputs = group_outputs_by_input(
+                    mem[1].get(q_page.did, []))
+        elif q_page is not None:
+            reader_pair = readers.get(unit.uid)
+            if reader_pair is not None:
+                try:
+                    with timer.measure(IO):
+                        prev_inputs = reader_pair[0].read_page_inputs(
+                            q_page.did)
+                        prev_outputs = group_outputs_by_input(
+                            reader_pair[1].read_page_outputs(q_page.did))
+                except (ValueError, KeyError):
+                    # A truncated or corrupt reuse file (e.g. the
+                    # previous run died mid-write) must never break the
+                    # current run: drop reuse for this unit and extract
+                    # from scratch for the rest of the snapshot.
+                    dropped = readers.pop(unit.uid, None)
+                    if dropped is not None:
+                        dropped[0].close()
+                        dropped[1].close()
+                    prev_inputs = []
+                    prev_outputs = {}
+
+        # A match shorter than 2β + 2 enables no copying, so ST skips
+        # such segments — but large-β units (CRFs) still benefit from
+        # full-region matches of short regions, hence the cap.
+        matcher = make_matcher(
+            matcher_name, cache,
+            min_length=max(8, min(2 * unit.beta + 2, 32)))
+
+        out_rows: List[TupleRow] = []
+        for row in input_rows:
+            region = row[unit.in_var]
+            if not isinstance(region, Span):
+                raise TypeError(f"unit {unit.uid}: input {unit.in_var!r} "
+                                "is not a span")
+            unit_stats.input_tuples += 1
+            unit_stats.input_chars += len(region)
+            c = ""
+            with timer.measure(IO):
+                tid = writer_i.append_input(page.did, region.start,
+                                            region.end, c)
+
+            copied: List[Dict[str, object]] = []
+            if (q_page is None or matcher_name == DN_NAME
+                    or not prev_inputs):
+                extraction_regions = [region.interval]
+                derivation = None
+            else:
+                candidates = {pi.tid: pi for pi in prev_inputs if pi.c == c}
+                with timer.measure(MATCH):
+                    unit_stats.matcher_calls += len(candidates)
+                    segments: List[MatchSegment] = matcher.match_many(
+                        page.text, region.interval, q_page.text,
+                        {tid: pi.interval
+                         for tid, pi in candidates.items()})
+                    if matcher_name not in (DN_NAME, RU_NAME):
+                        # Fresh matching work (ST/UD/plug-ins like WS)
+                        # is recorded for RU units to recycle.
+                        cache.record(segments)
+                with timer.measure(COPY):
+                    derivation = derive_reuse(
+                        region.interval, page.did, segments, candidates,
+                        prev_outputs, unit.alpha, unit.beta)
+                copied = derivation.copied
+                extraction_regions = derivation.extraction_regions
+                unit_stats.copied_tuples += len(copied)
+                unit_stats.copy_zone_chars += derivation.covered_chars()
+
+            fresh: List[Dict[str, object]] = []
+            for er in extraction_regions:
+                text = page.text[er.start:er.end]
+                unit_stats.extracted_chars += len(text)
+                with timer.measure(EXTRACT):
+                    extractions = unit.extractor.extract(text)
+                er_span = Span(page.did, er.start, er.end)
+                for extraction in extractions:
+                    extent = extraction.extent()
+                    abs_extent = (None if extent is None else
+                                  (extent[0] + er.start,
+                                   extent[1] + er.start))
+                    if derivation is not None and not extraction_keep(
+                            abs_extent, er, region.interval, unit.beta):
+                        continue
+                    fields = unit.ie_node.extension_fields(extraction,
+                                                           er_span)
+                    post = unit.apply_absorbed(fields, ctx)
+                    if post is not None:
+                        fresh.append(post)
+
+            # Copy zones and extraction regions overlap by design (the
+            # α+β margins), so only the mixed case can hold duplicates.
+            with timer.measure(COPY):
+                if not fresh:
+                    extensions = copied
+                elif not copied:
+                    extensions = fresh
+                else:
+                    extensions = dedupe_extensions(copied + fresh)
+            unit_stats.output_tuples += len(extensions)
+            with timer.measure(IO):
+                for ext in extensions:
+                    writer_o.append_output(page.did, tid,
+                                           encode_fields(ext))
+            for ext in extensions:
+                if unit.projects_away_input:
+                    out_rows.append(dict(ext))
+                else:
+                    out_rows.append({**row, **ext})
+        return out_rows

@@ -1,0 +1,62 @@
+"""Pages: the unit of crawling, extraction, and matching.
+
+A page is an immutable piece of text retrieved from a URL at some
+snapshot. Pages at the same URL across consecutive snapshots are the
+candidates for IE-result reuse (Section 5.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .span import Interval, Span
+
+
+def content_digest(text: str) -> str:
+    """Stable content hash used by the Shortcut baseline to detect
+    byte-identical pages across snapshots."""
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Page:
+    """One retrieved data page.
+
+    Attributes:
+        did: document id, unique within a snapshot. Delex matches pages
+            across snapshots by URL, so we use the URL itself as the id.
+        url: source URL.
+        text: full page text.
+    """
+
+    did: str
+    url: str
+    text: str
+    digest: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.digest:
+            object.__setattr__(self, "digest", content_digest(self.text))
+
+    @classmethod
+    def from_url(cls, url: str, text: str) -> "Page":
+        return cls(did=url, url=url, text=text)
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    @property
+    def whole(self) -> Interval:
+        """The interval covering the full page."""
+        return Interval(0, len(self.text))
+
+    def whole_span(self) -> Span:
+        return Span(self.did, 0, len(self.text))
+
+    def region_text(self, interval: Interval) -> str:
+        return self.text[interval.start:interval.end]
+
+    def identical_to(self, other: "Page") -> bool:
+        """Byte-identical content (digest plus equality double-check)."""
+        return self.digest == other.digest and self.text == other.text

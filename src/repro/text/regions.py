@@ -1,0 +1,112 @@
+"""Matched-region bookkeeping shared by matchers and the reuse engine.
+
+A ``MatchSegment`` witnesses that a stretch of the current page equals a
+stretch of the previous page. Matchers produce them; the reuse engine
+turns a p-disjoint subset into copy zones and extraction regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .span import Interval
+
+
+@dataclass(frozen=True)
+class MatchSegment:
+    """Equal text: ``p[p_start : p_start+length] == q[q_start : q_start+length]``.
+
+    ``q_itid`` ties the match back to the input tuple (recorded region of
+    q) it was found in, so copied mentions can be joined to the right
+    output tuples in the reuse file.
+    """
+
+    p_start: int
+    q_start: int
+    length: int
+    q_itid: int = -1
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("match length must be >= 0")
+
+    @property
+    def p_interval(self) -> Interval:
+        return Interval(self.p_start, self.p_start + self.length)
+
+    @property
+    def q_interval(self) -> Interval:
+        return Interval(self.q_start, self.q_start + self.length)
+
+    @property
+    def shift(self) -> int:
+        """Offset to add to q positions to land on p positions."""
+        return self.p_start - self.q_start
+
+    def trim_to_p(self, bound: Interval) -> Optional["MatchSegment"]:
+        """Restrict the match so its p side lies inside ``bound``."""
+        got = self.p_interval.intersect(bound)
+        if got is None:
+            return None
+        delta = got.start - self.p_start
+        return MatchSegment(got.start, self.q_start + delta, len(got),
+                            self.q_itid)
+
+    def trim_to_q(self, bound: Interval) -> Optional["MatchSegment"]:
+        """Restrict the match so its q side lies inside ``bound``."""
+        got = self.q_interval.intersect(bound)
+        if got is None:
+            return None
+        delta = got.start - self.q_start
+        return MatchSegment(self.p_start + delta, got.start, len(got),
+                            self.q_itid)
+
+    def verify(self, p_text: str, q_text: str) -> bool:
+        """Debug helper: check the equal-text witness actually holds."""
+        return (p_text[self.p_start:self.p_start + self.length]
+                == q_text[self.q_start:self.q_start + self.length])
+
+
+def select_p_disjoint(segments: Iterable[MatchSegment]) -> List[MatchSegment]:
+    """Pick a subset of matches that is disjoint on the p side.
+
+    Greedy by decreasing length (longest matches keep the most reuse),
+    trimming later matches around already-claimed p intervals instead of
+    discarding them outright. The result is sorted by ``p_start``.
+    """
+    chosen: List[MatchSegment] = []
+    claimed: List[Interval] = []
+    for seg in sorted(segments, key=lambda s: (-s.length, s.p_start)):
+        if seg.length == 0:
+            continue
+        pieces = [seg]
+        for iv in claimed:
+            next_pieces: List[MatchSegment] = []
+            for piece in pieces:
+                next_pieces.extend(_subtract_p(piece, iv))
+            pieces = next_pieces
+            if not pieces:
+                break
+        for piece in pieces:
+            if piece.length > 0:
+                chosen.append(piece)
+                claimed.append(piece.p_interval)
+    chosen.sort(key=lambda s: s.p_start)
+    return chosen
+
+
+def _subtract_p(seg: MatchSegment, iv: Interval) -> List[MatchSegment]:
+    """Remove interval ``iv`` from the p side of ``seg``."""
+    p = seg.p_interval
+    if not p.overlaps(iv):
+        return [seg]
+    out: List[MatchSegment] = []
+    if p.start < iv.start:
+        out.append(MatchSegment(p.start, seg.q_start, iv.start - p.start,
+                                seg.q_itid))
+    if iv.end < p.end:
+        delta = iv.end - p.start
+        out.append(MatchSegment(iv.end, seg.q_start + delta, p.end - iv.end,
+                                seg.q_itid))
+    return out

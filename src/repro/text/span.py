@@ -1,0 +1,176 @@
+"""Half-open character intervals and text spans.
+
+Everything in Delex is positioned by character offsets inside a page.
+``Interval`` is a bare ``[start, end)`` range; ``Span`` ties an interval
+to a document id so that mentions can be copied between snapshots by
+shifting offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open character interval ``[start, end)``.
+
+    Empty intervals (``start == end``) are permitted; ``start > end`` is
+    rejected at construction time.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"interval start {self.start} > end {self.end}")
+        if self.start < 0:
+            raise ValueError(f"interval start {self.start} < 0")
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def is_empty(self) -> bool:
+        return self.start == self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True iff ``other`` lies entirely inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def contains_point(self, pos: int) -> bool:
+        return self.start <= pos < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True iff the two intervals share at least one position."""
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """The common sub-interval, or None when disjoint.
+
+        Touching intervals (``a.end == b.start``) intersect in the empty
+        set and return None.
+        """
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo >= hi:
+            return None
+        return Interval(lo, hi)
+
+    def shift(self, delta: int) -> "Interval":
+        """Translate by ``delta`` characters."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def expand(self, left: int, right: Optional[int] = None) -> "Interval":
+        """Grow by ``left`` chars on the left and ``right`` on the right.
+
+        ``right`` defaults to ``left``. The left edge is clamped at 0.
+        """
+        if right is None:
+            right = left
+        return Interval(max(0, self.start - left), self.end + right)
+
+    def clip(self, bound: "Interval") -> Optional["Interval"]:
+        """Clip to ``bound``; None if nothing remains."""
+        return self.intersect(bound)
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Union a collection of intervals into sorted disjoint intervals.
+
+    Touching intervals are merged. Empty intervals are dropped.
+    """
+    items = sorted(i for i in intervals if not i.is_empty())
+    merged: List[Interval] = []
+    for iv in items:
+        if merged and iv.start <= merged[-1].end:
+            if iv.end > merged[-1].end:
+                merged[-1] = Interval(merged[-1].start, iv.end)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def complement_intervals(
+    intervals: Iterable[Interval], within: Interval
+) -> List[Interval]:
+    """Intervals of ``within`` not covered by ``intervals`` (sorted)."""
+    covered = [
+        c for c in (iv.intersect(within) for iv in merge_intervals(intervals))
+        if c is not None
+    ]
+    gaps: List[Interval] = []
+    cursor = within.start
+    for iv in covered:
+        if iv.start > cursor:
+            gaps.append(Interval(cursor, iv.start))
+        cursor = max(cursor, iv.end)
+    if cursor < within.end:
+        gaps.append(Interval(cursor, within.end))
+    return gaps
+
+
+def intersect_interval_sets(
+    left: Iterable[Interval], right: Iterable[Interval]
+) -> List[Interval]:
+    """Pairwise intersection of two disjoint sorted interval sets."""
+    a = merge_intervals(left)
+    b = merge_intervals(right)
+    out: List[Interval] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        got = a[i].intersect(b[j])
+        if got is not None:
+            out.append(got)
+        if a[i].end <= b[j].end:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def total_length(intervals: Iterable[Interval]) -> int:
+    """Total number of characters covered (after merging overlaps)."""
+    return sum(len(iv) for iv in merge_intervals(intervals))
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """An interval anchored in a document (by document id)."""
+
+    did: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"span start {self.start} > end {self.end}")
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def text_of(self, page_text: str) -> str:
+        """Materialize this span against its page's text."""
+        return page_text[self.start:self.end]
+
+    def shift(self, delta: int, did: Optional[str] = None) -> "Span":
+        """Translate offsets; optionally re-anchor to another document."""
+        return Span(self.did if did is None else did,
+                    self.start + delta, self.end + delta)
+
+    def contains(self, other: "Span") -> bool:
+        return (self.did == other.did
+                and self.start <= other.start and other.end <= self.end)
+
+
+def span_sort_key(span: Span) -> Tuple[str, int, int]:
+    return (span.did, span.start, span.end)

@@ -1,0 +1,97 @@
+"""Runtime decomposition accounting (the Figure 11 categories).
+
+Every system reports its elapsed time split into the paper's
+components: Match, Extraction, Copy, Opt, and Others (relational
+operators, reuse-file I/O, bookkeeping). Timers are accumulated with
+``perf_counter`` around the relevant code regions; the engine takes
+care that categories never nest, so the parts sum to at most the
+total and "Others" is the measured remainder.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+MATCH = "match"
+EXTRACT = "extract"
+COPY = "copy"
+OPT = "opt"
+IO = "io"
+OTHER = "other"
+
+CATEGORIES = (MATCH, EXTRACT, COPY, OPT, IO, OTHER)
+
+
+@dataclass
+class Timings:
+    """Accumulated seconds per category plus the wall-clock total."""
+
+    parts: Dict[str, float] = field(default_factory=dict)
+    total: float = 0.0
+
+    def add(self, category: str, seconds: float) -> None:
+        self.parts[category] = self.parts.get(category, 0.0) + seconds
+
+    def get(self, category: str) -> float:
+        return self.parts.get(category, 0.0)
+
+    @property
+    def others(self) -> float:
+        """Total minus all attributed categories (never negative)."""
+        attributed = sum(self.parts.values())
+        return max(0.0, self.total - attributed)
+
+    def merged(self, other: "Timings") -> "Timings":
+        merged = Timings(parts=dict(self.parts), total=self.total + other.total)
+        for category, seconds in other.parts.items():
+            merged.add(category, seconds)
+        return merged
+
+    def as_row(self) -> Dict[str, float]:
+        """Figure 11-style decomposition row."""
+        return {
+            "match": self.get(MATCH),
+            "extraction": self.get(EXTRACT),
+            "copy": self.get(COPY),
+            "opt": self.get(OPT),
+            "io": self.get(IO),
+            "others": self.others,
+            "total": self.total,
+        }
+
+
+class Timer:
+    """Accumulates time into a :class:`Timings` object.
+
+    The ``measure`` context manager is reentrancy-guarded: while one
+    category is being measured, nested measures are ignored so no
+    second of wall-clock is attributed twice.
+    """
+
+    def __init__(self, timings: Timings) -> None:
+        self.timings = timings
+        self._active = False
+
+    @contextmanager
+    def measure(self, category: str) -> Iterator[None]:
+        if self._active:
+            yield
+            return
+        self._active = True
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings.add(category, time.perf_counter() - start)
+            self._active = False
+
+    @contextmanager
+    def measure_total(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings.total += time.perf_counter() - start

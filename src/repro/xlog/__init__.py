@@ -1,0 +1,23 @@
+"""xlog: the declarative IE language (Datalog + extraction predicates)."""
+
+from .ast import Atom, Program, Rule, Term, Var, make_rule
+from .parser import XlogSyntaxError, parse_program, parse_rule
+from .registry import DOCS_PREDICATE, EvalContext, Registry
+from .validation import XlogValidationError, validate_program
+
+__all__ = [
+    "Atom",
+    "Program",
+    "Rule",
+    "Term",
+    "Var",
+    "make_rule",
+    "parse_program",
+    "parse_rule",
+    "XlogSyntaxError",
+    "XlogValidationError",
+    "validate_program",
+    "Registry",
+    "EvalContext",
+    "DOCS_PREDICATE",
+]

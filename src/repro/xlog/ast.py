@@ -1,0 +1,103 @@
+"""AST for xlog, the Datalog variant with embedded extraction predicates.
+
+An xlog program (Shen et al., VLDB-07; Section 3 of the Delex paper) is
+a set of rules ``head :- body``. Body atoms are:
+
+* the extensional predicate ``docs(d)`` binding ``d`` to each data page,
+* *IE predicates* — procedural predicates backed by an
+  :class:`~repro.extractors.base.Extractor`, taking one bound input span
+  and producing output spans extracted from it,
+* *p-function predicates* — procedural boolean predicates over bound
+  values (e.g. ``immBefore(title, abstract)``).
+
+xlog does not support negation or recursion (nor does this
+implementation — the validator rejects them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+Literal = Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable term. xlog uses lowercase variable names."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Union[Var, Literal]
+
+
+def term_str(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, str):
+        return f'"{term}"'
+    return repr(term)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms: ``name(t1, ..., tn)``."""
+
+    pred: str
+    args: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(term_str(t) for t in self.args)
+        return f"{self.pred}({inner})"
+
+    def vars(self) -> List[Var]:
+        return [t for t in self.args if isinstance(t, Var)]
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body_1, ..., body_n.``"""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(str(a) for a in self.body)}."
+
+    def body_vars(self) -> List[Var]:
+        seen: List[Var] = []
+        for atom in self.body:
+            for v in atom.vars():
+                if v not in seen:
+                    seen.append(v)
+        return seen
+
+
+@dataclass(frozen=True)
+class Program:
+    """An xlog program: an ordered set of rules."""
+
+    rules: Tuple[Rule, ...]
+    name: str = "program"
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+    def head_relations(self) -> List[str]:
+        out: List[str] = []
+        for rule in self.rules:
+            if rule.head.pred not in out:
+                out.append(rule.head.pred)
+        return out
+
+
+def make_rule(head: Atom, body: Sequence[Atom]) -> Rule:
+    return Rule(head, tuple(body))

@@ -1,0 +1,141 @@
+"""Parser for the textual xlog syntax.
+
+Grammar (whitespace-insensitive, ``%`` or ``#`` start line comments)::
+
+    program  := rule*
+    rule     := atom ":-" atom ("," atom)* "."
+    atom     := IDENT "(" term ("," term)* ")"
+    term     := IDENT | NUMBER | STRING
+
+Identifiers in argument position are variables; quoted strings and
+numbers are literals. Example::
+
+    titles(d, title) :- docs(d), extractTitle(d, title).
+    talks(title, abstract) :- titles(d, title), abstracts(d, abstract),
+                              immBefore(title, abstract).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ast import Atom, Program, Rule, Term, Var
+
+
+class XlogSyntaxError(ValueError):
+    """Raised when a program cannot be parsed."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>[%#][^\n]*)
+  | (?P<implies>:-)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<punct>[(),.])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise XlogSyntaxError(f"unexpected character {text[pos]!r}", line)
+        kind = m.lastgroup or ""
+        value = m.group()
+        line += value.count("\n")
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, value, line))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str, int]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def _peek(self) -> Tuple[str, str, int]:
+        if self.pos >= len(self.tokens):
+            last_line = self.tokens[-1][2] if self.tokens else 1
+            return ("eof", "", last_line)
+        return self.tokens[self.pos]
+
+    def _next(self) -> Tuple[str, str, int]:
+        tok = self._peek()
+        self.pos += 1
+        return tok
+
+    def _expect(self, kind: str, value: str = "") -> Tuple[str, str, int]:
+        tok = self._next()
+        if tok[0] != kind or (value and tok[1] != value):
+            want = value or kind
+            raise XlogSyntaxError(
+                f"expected {want!r}, found {tok[1]!r}", tok[2])
+        return tok
+
+    def at_end(self) -> bool:
+        return self._peek()[0] == "eof"
+
+    def parse_term(self) -> Term:
+        kind, value, line = self._next()
+        if kind == "ident":
+            return Var(value)
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            return value[1:-1].replace('\\"', '"').replace("\\'", "'")
+        raise XlogSyntaxError(f"expected a term, found {value!r}", line)
+
+    def parse_atom(self) -> Atom:
+        _, name, _ = self._expect("ident")
+        self._expect("punct", "(")
+        args: List[Term] = [self.parse_term()]
+        while self._peek()[1] == ",":
+            self._next()
+            args.append(self.parse_term())
+        self._expect("punct", ")")
+        return Atom(name, tuple(args))
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        self._expect("implies")
+        body: List[Atom] = [self.parse_atom()]
+        while self._peek()[1] == ",":
+            self._next()
+            body.append(self.parse_atom())
+        self._expect("punct", ".")
+        return Rule(head, tuple(body))
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse xlog source text into a :class:`Program`."""
+    parser = _Parser(_tokenize(text))
+    rules: List[Rule] = []
+    while not parser.at_end():
+        rules.append(parser.parse_rule())
+    if not rules:
+        raise XlogSyntaxError("empty program", 1)
+    return Program(tuple(rules), name=name)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (for tests and interactive use)."""
+    parser = _Parser(_tokenize(text))
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        tok = parser._peek()
+        raise XlogSyntaxError(f"trailing input {tok[1]!r}", tok[2])
+    return rule

@@ -1,0 +1,185 @@
+"""Registry binding xlog predicate names to Python procedures.
+
+Three kinds of bindings:
+
+* ``docs`` — the built-in extensional predicate over the corpus pages.
+* IE predicates — backed by an :class:`~repro.extractors.base.Extractor`.
+  The predicate's first argument is the input span, the remaining
+  arguments name the extractor's outputs positionally.
+* p-functions — boolean predicates over bound values used as selections
+  (``immBefore(title, abstract)``, ``grossOver(sent, 100)``).
+
+p-functions receive an :class:`EvalContext` so they can materialize
+span values against the current page's text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Union
+
+from ..text.span import Span
+
+if TYPE_CHECKING:  # avoid a package import cycle; Extractor is typing-only
+    from ..extractors.base import Extractor
+
+DOCS_PREDICATE = "docs"
+
+Scalar = Union[str, int, float, bool, None]
+Value = Union[Span, Scalar]
+
+
+class EvalContext:
+    """Page-scoped evaluation context handed to p-functions."""
+
+    def __init__(self, page_text: str, did: str) -> None:
+        self.page_text = page_text
+        self.did = did
+
+    def text(self, value: Value) -> str:
+        """Materialize a value: span -> its text, scalar -> str."""
+        if isinstance(value, Span):
+            return self.page_text[value.start:value.end]
+        return str(value)
+
+
+PFunction = Callable[..., bool]
+
+
+@dataclass(frozen=True)
+class PFunctionEntry:
+    name: str
+    func: PFunction
+    arity: int
+
+
+class Registry:
+    """Name -> procedure bindings for a family of xlog programs."""
+
+    def __init__(self) -> None:
+        self._extractors: Dict[str, "Extractor"] = {}
+        self._functions: Dict[str, PFunctionEntry] = {}
+        register_builtin_functions(self)
+
+    # -- IE predicates ---------------------------------------------------
+
+    def register_extractor(self, extractor: "Extractor") -> None:
+        if extractor.name in self._extractors or extractor.name in self._functions:
+            raise ValueError(f"predicate {extractor.name!r} already bound")
+        self._extractors[extractor.name] = extractor
+
+    def extractor(self, name: str) -> "Extractor":
+        return self._extractors[name]
+
+    def is_ie_predicate(self, name: str) -> bool:
+        return name in self._extractors
+
+    # -- p-functions -----------------------------------------------------
+
+    def register_function(self, name: str, func: PFunction,
+                          arity: int) -> None:
+        if name in self._functions or name in self._extractors:
+            raise ValueError(f"predicate {name!r} already bound")
+        self._functions[name] = PFunctionEntry(name, func, arity)
+
+    def function(self, name: str) -> PFunctionEntry:
+        return self._functions[name]
+
+    def is_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def kind_of(self, name: str) -> Optional[str]:
+        """'docs', 'ie', 'function', or None for unknown predicates."""
+        if name == DOCS_PREDICATE:
+            return "docs"
+        if name in self._extractors:
+            return "ie"
+        if name in self._functions:
+            return "function"
+        return None
+
+
+# -- built-in p-functions --------------------------------------------------
+
+def _as_span(value: Value, what: str) -> Span:
+    if not isinstance(value, Span):
+        raise TypeError(f"{what} expects a span, got {type(value).__name__}")
+    return value
+
+
+def imm_before(ctx: EvalContext, a: Value, b: Value) -> bool:
+    """True iff span ``a`` ends right before span ``b`` starts
+    (allowing whitespace between them)."""
+    sa, sb = _as_span(a, "immBefore"), _as_span(b, "immBefore")
+    if sa.did != sb.did or sa.end > sb.start:
+        return False
+    return ctx.page_text[sa.end:sb.start].strip() == ""
+
+
+def before(ctx: EvalContext, a: Value, b: Value) -> bool:
+    """True iff span ``a`` ends at or before span ``b`` starts."""
+    sa, sb = _as_span(a, "before"), _as_span(b, "before")
+    return sa.did == sb.did and sa.end <= sb.start
+
+
+def within_chars(ctx: EvalContext, a: Value, b: Value, dist: Value) -> bool:
+    """True iff spans ``a`` and ``b`` lie within ``dist`` characters."""
+    sa, sb = _as_span(a, "withinChars"), _as_span(b, "withinChars")
+    if sa.did != sb.did:
+        return False
+    hull = max(sa.end, sb.end) - min(sa.start, sb.start)
+    return hull <= int(dist)  # type: ignore[arg-type]
+
+
+def contains_phrase(ctx: EvalContext, a: Value, phrase: Value) -> bool:
+    """True iff the value's text contains ``phrase`` (case-insensitive)."""
+    return str(phrase).lower() in ctx.text(a).lower()
+
+
+def matches(ctx: EvalContext, a: Value, pattern: Value) -> bool:
+    """True iff the value's text matches the regex ``pattern``."""
+    return re.search(str(pattern), ctx.text(a)) is not None
+
+
+def gross_over(ctx: EvalContext, sent: Value, millions: Value) -> bool:
+    """True iff the sentence reports a gross of at least N million
+    (parses ``$<n> million`` from the sentence text)."""
+    m = re.search(r"\$(\d+(?:\.\d+)?) million", ctx.text(sent))
+    if m is None:
+        return False
+    return float(m.group(1)) >= float(millions)  # type: ignore[arg-type]
+
+
+def year_after(ctx: EvalContext, value: Value, year: Value) -> bool:
+    """True iff the value's text contains a 4-digit year >= ``year``."""
+    m = re.search(r"\b(19|20)\d{2}\b", ctx.text(value))
+    return m is not None and int(m.group()) >= int(year)  # type: ignore[arg-type]
+
+
+def all_caps(ctx: EvalContext, value: Value) -> bool:
+    """True iff the value's text is entirely upper-case."""
+    text = ctx.text(value)
+    return bool(text) and text == text.upper()
+
+
+def at_least(ctx: EvalContext, value: Value, threshold: Value) -> bool:
+    """True iff a numeric value is >= the threshold."""
+    del ctx
+    return float(value) >= float(threshold)  # type: ignore[arg-type]
+
+
+def register_builtin_functions(registry: Registry) -> None:
+    registry._functions.clear()
+    for name, func, arity in (
+        ("immBefore", imm_before, 2),
+        ("before", before, 2),
+        ("withinChars", within_chars, 3),
+        ("containsPhrase", contains_phrase, 2),
+        ("matches", matches, 2),
+        ("grossOver", gross_over, 2),
+        ("yearAfter", year_after, 2),
+        ("allCaps", all_caps, 1),
+        ("atLeast", at_least, 2),
+    ):
+        registry._functions[name] = PFunctionEntry(name, func, arity)

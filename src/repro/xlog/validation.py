@@ -1,0 +1,117 @@
+"""Static checks on xlog programs before compilation.
+
+Validations:
+
+* every body predicate is bound in the registry (or is ``docs`` or the
+  head of an earlier rule — rule chaining);
+* no recursion (a rule may only reference heads of earlier rules) and
+  no negation (the syntax has none, but we also reject reserved names);
+* IE predicates are used with the right arity, and their input argument
+  is bound earlier in the body (range restriction);
+* p-function arguments are all bound;
+* head variables all appear in the body (safety).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .ast import Atom, Program, Rule, Var
+from .registry import DOCS_PREDICATE, Registry
+
+
+class XlogValidationError(ValueError):
+    """Raised when a parsed program is not executable."""
+
+
+def validate_program(program: Program, registry: Registry) -> None:
+    """Raise :class:`XlogValidationError` on the first problem found."""
+    derived: Dict[str, int] = {}
+    for rule in program.rules:
+        _validate_rule(rule, registry, derived)
+        head = rule.head
+        if head.pred in derived and derived[head.pred] != head.arity:
+            raise XlogValidationError(
+                f"head {head.pred!r} redefined with different arity")
+        if registry.kind_of(head.pred) is not None:
+            raise XlogValidationError(
+                f"head {head.pred!r} shadows a bound predicate")
+        derived[head.pred] = head.arity
+
+
+def _validate_rule(rule: Rule, registry: Registry,
+                   derived: Dict[str, int]) -> None:
+    bound: Set[str] = set()
+    for atom in rule.body:
+        kind = registry.kind_of(atom.pred)
+        if kind is None and atom.pred in derived:
+            kind = "derived"
+        if kind is None:
+            if atom.pred == rule.head.pred:
+                raise XlogValidationError(
+                    f"recursive use of {atom.pred!r} is not supported")
+            raise XlogValidationError(
+                f"unknown predicate {atom.pred!r} in rule {rule}")
+        if kind == "docs":
+            _check_docs(atom)
+            bound.update(v.name for v in atom.vars())
+        elif kind == "ie":
+            _check_ie(atom, registry, bound)
+            bound.update(v.name for v in atom.vars())
+        elif kind == "derived":
+            if atom.arity != derived[atom.pred]:
+                raise XlogValidationError(
+                    f"{atom.pred!r} used with arity {atom.arity}, "
+                    f"defined with {derived[atom.pred]}")
+            bound.update(v.name for v in atom.vars())
+        else:  # p-function
+            _check_function(atom, registry, bound)
+    unbound: List[str] = [v.name for v in rule.head.vars()
+                          if v.name not in bound]
+    if unbound:
+        raise XlogValidationError(
+            f"head variables {unbound} not bound in body of rule {rule}")
+
+
+def _check_docs(atom: Atom) -> None:
+    if atom.arity != 1 or not isinstance(atom.args[0], Var):
+        raise XlogValidationError(
+            f"{DOCS_PREDICATE} takes exactly one variable, got {atom}")
+
+
+def _check_ie(atom: Atom, registry: Registry, bound: Set[str]) -> None:
+    extractor = registry.extractor(atom.pred)
+    expected = 1 + len(extractor.output_vars)
+    if atom.arity != expected:
+        raise XlogValidationError(
+            f"IE predicate {atom.pred!r} takes {expected} arguments "
+            f"(input + {len(extractor.output_vars)} outputs), got {atom}")
+    first = atom.args[0]
+    if not isinstance(first, Var):
+        raise XlogValidationError(
+            f"IE predicate {atom.pred!r} input must be a variable")
+    if first.name not in bound:
+        raise XlogValidationError(
+            f"IE predicate {atom.pred!r} input {first.name!r} is not bound "
+            "earlier in the body")
+    for arg in atom.args[1:]:
+        if not isinstance(arg, Var):
+            raise XlogValidationError(
+                f"IE predicate {atom.pred!r} outputs must be variables")
+        if arg.name in bound:
+            raise XlogValidationError(
+                f"IE predicate {atom.pred!r} output {arg.name!r} is "
+                "already bound (joins on IE outputs are not supported)")
+
+
+def _check_function(atom: Atom, registry: Registry, bound: Set[str]) -> None:
+    entry = registry.function(atom.pred)
+    if atom.arity != entry.arity:
+        raise XlogValidationError(
+            f"p-function {atom.pred!r} takes {entry.arity} arguments, "
+            f"got {atom.arity}")
+    for arg in atom.vars():
+        if arg.name not in bound:
+            raise XlogValidationError(
+                f"p-function {atom.pred!r} argument {arg.name!r} is not "
+                "bound earlier in the body")

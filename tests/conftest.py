@@ -1,0 +1,47 @@
+"""Shared fixtures: small corpora and zero-cost tasks for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import dblife_corpus, wikipedia_corpus
+from repro.extractors import make_task
+from repro.plan import compile_program, find_units
+
+
+@pytest.fixture(scope="session")
+def dblife_snapshots():
+    """Four snapshots of a small DBLife-like corpus."""
+    return list(dblife_corpus(n_pages=16, seed=42,
+                              p_unchanged=0.7).snapshots(4))
+
+
+@pytest.fixture(scope="session")
+def wikipedia_snapshots():
+    """Four snapshots of a small Wikipedia-like corpus."""
+    return list(wikipedia_corpus(n_pages=12, seed=42).snapshots(4))
+
+
+def fast_task(name: str):
+    """A library task with instantaneous extractors."""
+    return make_task(name, work_scale=0)
+
+
+@pytest.fixture(scope="session")
+def play_task_fast():
+    return fast_task("play")
+
+
+@pytest.fixture(scope="session")
+def chair_task_fast():
+    return fast_task("chair")
+
+
+@pytest.fixture(scope="session")
+def play_plan(play_task_fast):
+    return compile_program(play_task_fast.program, play_task_fast.registry)
+
+
+@pytest.fixture(scope="session")
+def play_units(play_plan):
+    return find_units(play_plan)

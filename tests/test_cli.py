@@ -1,0 +1,94 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTasks:
+    def test_lists_all_tasks(self, capsys):
+        assert main(["tasks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("talk", "chair", "advise", "blockbuster", "play",
+                     "award", "infobox"):
+            assert name in out
+
+
+class TestInspect:
+    def test_shows_program_units_chains(self, capsys):
+        assert main(["inspect", "--task", "chair"]) == 0
+        out = capsys.readouterr().out
+        assert "xlog program" in out
+        assert "extractServiceSec" in out
+        assert "IEChain" in out
+
+    def test_rejects_unknown_task(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["inspect", "--task", "bogus"])
+
+
+class TestCorpus:
+    def test_generates_store(self, tmp_path, capsys):
+        store = str(tmp_path / "c")
+        code = main(["corpus", "--kind", "dblife", "--pages", "6",
+                     "--snapshots", "3", "--store", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote 3 snapshots" in out
+        from repro.corpus import CorpusStore
+        assert len(CorpusStore(store)) == 3
+
+    def test_refuses_nonempty_store(self, tmp_path, capsys):
+        store = str(tmp_path / "c")
+        main(["corpus", "--kind", "dblife", "--pages", "4",
+              "--snapshots", "2", "--store", store])
+        capsys.readouterr()
+        assert main(["corpus", "--kind", "dblife", "--pages", "4",
+                     "--snapshots", "2", "--store", store]) == 2
+
+
+class TestRun:
+    def test_end_to_end(self, tmp_path, capsys):
+        store = str(tmp_path / "c")
+        main(["corpus", "--kind", "wikipedia", "--pages", "8",
+              "--snapshots", "3", "--store", store])
+        capsys.readouterr()
+        code = main(["run", "--task", "play", "--store", store,
+                     "--systems", "noreuse,delex",
+                     "--work-scale", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result agreement: OK" in out
+        assert "mean decomposition" in out
+
+    def test_requires_snapshots(self, tmp_path, capsys):
+        store = str(tmp_path / "empty")
+        assert main(["run", "--task", "play", "--store", store]) == 2
+
+    def test_rejects_unknown_system(self, tmp_path, capsys):
+        store = str(tmp_path / "c")
+        main(["corpus", "--kind", "wikipedia", "--pages", "4",
+              "--snapshots", "2", "--store", store])
+        capsys.readouterr()
+        assert main(["run", "--task", "play", "--store", store,
+                     "--systems", "magic"]) == 2
+
+
+class TestReport:
+    def test_aggregates_tables(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig10_demo.txt").write_text("demo table\nrow 1\n")
+        assert main(["report", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "fig10_demo.txt" in out
+        assert "row 1" in out
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main(["report", "--results",
+                     str(tmp_path / "nope")]) == 2
+
+    def test_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        assert main(["report", "--results", str(empty)]) == 2

@@ -1,0 +1,201 @@
+"""Copy/extraction-region derivation: the α/β safety logic.
+
+The end-to-end Theorem 1 tests live in test_engine.py; these tests pin
+down the derivation mechanics — zone shrinking, boundary alignment,
+gap separation, extraction-region expansion, and the fresh-mention
+filter."""
+
+import pytest
+
+from repro.reuse.files import InputTuple, OutputTuple, encode_fields
+from repro.reuse.regions import dedupe_extensions, derive_reuse, extraction_keep
+from repro.text.regions import MatchSegment
+from repro.text.span import Interval, Span
+
+
+def make_inputs(*intervals):
+    return {i: InputTuple(i, "q", iv.start, iv.end)
+            for i, iv in enumerate(intervals)}
+
+
+def out_tuple(itid, start, end, tid=0):
+    return OutputTuple(tid, itid,
+                       encode_fields({"v": Span("q", start, end)}))
+
+
+class TestCopyZones:
+    def test_interior_zone_shrinks_by_beta(self):
+        q_inputs = make_inputs(Interval(0, 100))
+        segs = [MatchSegment(20, 30, 40, 0)]  # p[20:60] == q[30:70]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs, {},
+                           alpha=10, beta=5)
+        (zone,) = got.copy_zones
+        assert zone.zone == Interval(25, 55)
+        assert zone.shift == -10
+
+    def test_aligned_zone_keeps_edges(self):
+        q_inputs = make_inputs(Interval(0, 50))
+        segs = [MatchSegment(0, 0, 50, 0)]  # full region match
+        got = derive_reuse(Interval(0, 50), "p", segs, q_inputs, {},
+                           alpha=10, beta=5)
+        (zone,) = got.copy_zones
+        assert zone.zone == Interval(0, 50)
+        assert got.extraction_regions == []
+
+    def test_partial_alignment_only_shrinks_unaligned_edge(self):
+        q_inputs = make_inputs(Interval(0, 100))
+        # Left-aligned on both sides, ends mid-region.
+        segs = [MatchSegment(0, 0, 60, 0)]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs, {},
+                           alpha=10, beta=5)
+        (zone,) = got.copy_zones
+        assert zone.zone == Interval(0, 55)
+
+    def test_fake_alignment_rejected(self):
+        # Match touches the p region's start but not the q region's:
+        # edge mentions must not be treated as safely clipped.
+        q_inputs = make_inputs(Interval(10, 110))
+        segs = [MatchSegment(0, 20, 60, 0)]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs, {},
+                           alpha=10, beta=5)
+        (zone,) = got.copy_zones
+        assert zone.zone.start == 5  # shrunk despite touching p start
+
+    def test_zone_separation_enforced(self):
+        q_inputs = make_inputs(Interval(0, 200))
+        # Two adjacent matches with beta=0 would produce touching zones.
+        segs = [MatchSegment(0, 0, 50, 0), MatchSegment(50, 100, 50, 0)]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs, {},
+                           alpha=10, beta=0)
+        zones = [z.zone for z in got.copy_zones]
+        assert len(zones) == 2
+        assert zones[0].end < zones[1].start  # at least 1 char apart
+
+    def test_too_short_match_gives_no_zone(self):
+        q_inputs = make_inputs(Interval(0, 100))
+        segs = [MatchSegment(40, 40, 8, 0)]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs, {},
+                           alpha=10, beta=5)
+        assert got.copy_zones == []
+
+
+class TestCopying:
+    def test_copies_interior_mention(self):
+        q_inputs = make_inputs(Interval(0, 100))
+        q_outputs = {0: [out_tuple(0, 40, 45)]}
+        segs = [MatchSegment(10, 30, 40, 0)]  # q[30:70] -> p[10:50]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs,
+                           q_outputs, alpha=10, beta=3)
+        assert len(got.copied) == 1
+        assert got.copied[0]["v"] == Span("p", 20, 25)
+
+    def test_rejects_mention_near_match_edge(self):
+        q_inputs = make_inputs(Interval(0, 100))
+        q_outputs = {0: [out_tuple(0, 30, 35)]}  # at match start
+        segs = [MatchSegment(10, 30, 40, 0)]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs,
+                           q_outputs, alpha=10, beta=3)
+        assert got.copied == []
+
+    def test_copies_edge_mention_when_aligned(self):
+        q_inputs = make_inputs(Interval(0, 50))
+        q_outputs = {0: [out_tuple(0, 0, 5)]}
+        segs = [MatchSegment(0, 0, 50, 0)]
+        got = derive_reuse(Interval(0, 50), "p", segs, q_inputs,
+                           q_outputs, alpha=10, beta=8)
+        assert got.copied == [{"v": Span("p", 0, 5)}]
+
+    def test_spanless_output_needs_full_region_match(self):
+        q_inputs = make_inputs(Interval(0, 50))
+        spanless = OutputTuple(0, 0, encode_fields({"n": 42}))
+        segs_full = [MatchSegment(0, 0, 50, 0)]
+        got = derive_reuse(Interval(0, 50), "p", segs_full, q_inputs,
+                           {0: [spanless]}, alpha=10, beta=2)
+        assert got.copied == [{"n": 42}]
+        segs_partial = [MatchSegment(0, 0, 30, 0)]
+        got = derive_reuse(Interval(0, 50), "p", segs_partial, q_inputs,
+                           {0: [spanless]}, alpha=10, beta=2)
+        assert got.copied == []
+
+    def test_outputs_of_other_inputs_not_copied(self):
+        q_inputs = make_inputs(Interval(0, 50), Interval(50, 100))
+        q_outputs = {1: [out_tuple(1, 60, 65)]}
+        segs = [MatchSegment(0, 0, 50, 0)]  # matches input 0 only
+        got = derive_reuse(Interval(0, 50), "p", segs, q_inputs,
+                           q_outputs, alpha=10, beta=2)
+        assert got.copied == []
+
+
+class TestExtractionRegions:
+    def test_gap_expanded_by_alpha_plus_beta(self):
+        q_inputs = make_inputs(Interval(0, 200))
+        segs = [MatchSegment(0, 0, 40, 0), MatchSegment(80, 80, 120, 0)]
+        got = derive_reuse(Interval(0, 200), "p", segs, q_inputs, {},
+                           alpha=7, beta=3)
+        # Zones: [0,37) and [83,200); gap [37,83) grown by 10 each side.
+        assert got.extraction_regions == [Interval(27, 93)]
+
+    def test_no_matches_yields_whole_region(self):
+        got = derive_reuse(Interval(10, 90), "p", [], {}, {},
+                           alpha=5, beta=2)
+        assert got.extraction_regions == [Interval(10, 90)]
+
+    def test_expansion_clipped_to_region(self):
+        # q region extends past the match, so the right edge is not
+        # aligned: zone = [0, 95), and the 5-char tail gap blows up to
+        # the whole region under a page-scale alpha.
+        q_inputs = make_inputs(Interval(0, 120))
+        segs = [MatchSegment(0, 0, 100, 0)]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs, {},
+                           alpha=1000, beta=5)
+        assert got.extraction_regions == [Interval(0, 100)]
+
+    def test_fully_aligned_match_means_nothing_to_extract(self):
+        q_inputs = make_inputs(Interval(0, 100))
+        segs = [MatchSegment(0, 0, 100, 0)]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs, {},
+                           alpha=1000, beta=5)
+        assert got.extraction_regions == []
+
+    def test_segments_clipped_to_candidate(self):
+        # A matcher bug handing back an oversized segment must not
+        # leak reuse outside the recorded q region.
+        q_inputs = make_inputs(Interval(20, 60))
+        segs = [MatchSegment(0, 0, 100, 0)]
+        got = derive_reuse(Interval(0, 100), "p", segs, q_inputs, {},
+                           alpha=5, beta=2)
+        (zone,) = got.copy_zones
+        assert zone.zone.start >= 22 and zone.zone.end <= 58
+
+
+class TestExtractionKeep:
+    def test_interior_kept(self):
+        assert extraction_keep((50, 55), Interval(40, 70),
+                               Interval(0, 100), beta=5)
+
+    def test_window_crossing_er_edge_dropped(self):
+        assert not extraction_keep((42, 47), Interval(40, 70),
+                                   Interval(0, 100), beta=5)
+
+    def test_er_edge_at_region_edge_kept(self):
+        assert extraction_keep((2, 7), Interval(0, 70),
+                               Interval(0, 100), beta=5)
+
+    def test_spanless_requires_full_region(self):
+        assert extraction_keep(None, Interval(0, 100),
+                               Interval(0, 100), beta=5)
+        assert not extraction_keep(None, Interval(0, 50),
+                                   Interval(0, 100), beta=5)
+
+
+class TestDedupe:
+    def test_removes_identical_extensions(self):
+        a = {"v": Span("p", 0, 5)}
+        b = {"v": Span("p", 0, 5)}
+        c = {"v": Span("p", 1, 6)}
+        assert dedupe_extensions([a, b, c]) == [a, c]
+
+    def test_keeps_scalar_distinctions(self):
+        a = {"v": Span("p", 0, 5), "n": 1}
+        b = {"v": Span("p", 0, 5), "n": 2}
+        assert len(dedupe_extensions([a, b])) == 2

@@ -1,0 +1,138 @@
+"""Property-based validation of the (α, β) reuse-safety argument.
+
+This drives :func:`derive_reuse` directly, below the engine: a
+position-deterministic toy extractor runs on a "previous" region, its
+outputs are recorded; the region then evolves; real matchers produce
+segments; and the invariant checked is exactly Theorem 1's kernel:
+
+    copied mentions ∪ (filtered) re-extracted mentions
+        ==  extractor(current region)
+
+for random texts, random edits, and both ST and UD matchers.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extractors.base import Extraction, Extractor, RelSpan
+from repro.matchers.base import MatchCache
+from repro.matchers.registry import make_matcher
+from repro.reuse.files import InputTuple, OutputTuple, encode_fields
+from repro.reuse.regions import derive_reuse, extraction_keep
+from repro.text.regions import MatchSegment
+from repro.text.span import Interval, Span
+
+
+class ToyExtractor(Extractor):
+    """Extracts every 'w<digit>' token whose β-context contains no '!'.
+
+    Scope: tokens are 2 chars (< α=8). Context: the veto character is
+    only looked for within ``context`` chars of the token, so the
+    declared β is honest.
+    """
+
+    def __init__(self, beta: int) -> None:
+        super().__init__("toy", ["v"], scope=8, context=beta)
+
+    def _extract(self, text):
+        for i in range(len(text) - 1):
+            if text[i] == "w" and text[i + 1].isdigit():
+                lo = max(0, i - self.context)
+                hi = min(len(text), i + 2 + self.context)
+                if "!" not in text[lo:hi]:
+                    yield Extraction.of(v=RelSpan(i, i + 2))
+
+
+ALPHABET = "ab w123!\n"
+
+
+def random_text(rng, n):
+    return "".join(rng.choice(ALPHABET) for _ in range(n))
+
+
+def evolve(rng, text):
+    out = list(text)
+    for _ in range(rng.randint(1, 4)):
+        op = rng.random()
+        pos = rng.randrange(max(1, len(out)))
+        if op < 0.4 and out:
+            out[pos:pos] = list(random_text(rng, rng.randint(1, 6)))
+        elif op < 0.7 and len(out) > 2:
+            del out[pos:pos + rng.randint(1, 3)]
+        elif out:
+            out[pos] = rng.choice(ALPHABET)
+    return "".join(out)
+
+
+def mentions_of(extractor, text, base=0):
+    return {(e.get("v").start + base, e.get("v").end + base)
+            for e in extractor.extract(text)}
+
+
+@settings(max_examples=120, deadline=None)
+@given(seed=st.integers(0, 100_000),
+       beta=st.integers(0, 6),
+       matcher_name=st.sampled_from(["ST", "UD", "WS"]))
+def test_derive_reuse_is_exact(seed, beta, matcher_name):
+    rng = random.Random(seed)
+    extractor = ToyExtractor(beta)
+    q_text = random_text(rng, rng.randint(0, 120))
+    p_text = evolve(rng, q_text)
+
+    # 1. "Previous run": record the extractor's outputs on q.
+    q_region = Interval(0, len(q_text))
+    q_inputs = {0: InputTuple(0, "q", 0, len(q_text))}
+    q_outputs = {0: [
+        OutputTuple(i, 0, encode_fields({"v": Span("q", s, e)}))
+        for i, (s, e) in enumerate(sorted(mentions_of(extractor, q_text)))
+    ]}
+
+    # 2. Match, derive, copy, re-extract — the unit-execution kernel.
+    p_region = Interval(0, len(p_text))
+    matcher = make_matcher(matcher_name, MatchCache(),
+                           min_length=max(4, 2 * beta + 2))
+    segments = [
+        MatchSegment(s.p_start, s.q_start, s.length, 0)
+        for s in matcher.match(p_text, p_region, q_text, q_region)
+    ]
+    derivation = derive_reuse(p_region, "p", segments, q_inputs,
+                              q_outputs, alpha=extractor.scope,
+                              beta=extractor.context)
+    got = {(f["v"].start, f["v"].end) for f in derivation.copied}
+    for er in derivation.extraction_regions:
+        for s, e in mentions_of(extractor, p_text[er.start:er.end],
+                                base=er.start):
+            if extraction_keep((s, e), er, p_region, beta):
+                got.add((s, e))
+
+    # 3. The kernel invariant: exactly the from-scratch mentions.
+    expected = mentions_of(extractor, p_text)
+    assert got == expected, (
+        f"beta={beta} matcher={matcher_name}\n"
+        f"q={q_text!r}\np={p_text!r}\n"
+        f"missing={expected - got} spurious={got - expected}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000), beta=st.integers(0, 4))
+def test_derive_reuse_exact_on_identical_text(seed, beta):
+    """Identical region: everything must be copied, nothing extracted."""
+    rng = random.Random(seed)
+    extractor = ToyExtractor(beta)
+    text = random_text(rng, rng.randint(1, 100))
+    q_inputs = {0: InputTuple(0, "q", 0, len(text))}
+    q_outputs = {0: [
+        OutputTuple(i, 0, encode_fields({"v": Span("q", s, e)}))
+        for i, (s, e) in enumerate(sorted(mentions_of(extractor, text)))
+    ]}
+    matcher = make_matcher("UD", MatchCache())
+    region = Interval(0, len(text))
+    segments = [MatchSegment(s.p_start, s.q_start, s.length, 0)
+                for s in matcher.match(text, region, text, region)]
+    derivation = derive_reuse(region, "p", segments, q_inputs, q_outputs,
+                              alpha=extractor.scope, beta=beta)
+    assert derivation.extraction_regions == []
+    got = {(f["v"].start, f["v"].end) for f in derivation.copied}
+    assert got == mentions_of(extractor, text)

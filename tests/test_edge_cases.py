@@ -1,0 +1,109 @@
+"""Remaining edge cases: vocab helpers, Cyclex boundary growth,
+empty-page handling, and whole-page identity at region edges."""
+
+import random
+
+import pytest
+
+from repro.corpus import vocab
+from repro.core.cyclex import CyclexSystem
+from repro.core.noreuse import NoReuseSystem
+from repro.core.runner import canonical_results
+from repro.corpus.snapshot import snapshot_from_texts
+from repro.extractors import make_task
+from repro.plan import compile_program, find_units
+from repro.reuse.engine import PlanAssignment, ReuseEngine
+
+
+class TestVocabHelpers:
+    def test_person_name_shape(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            first, last = vocab.person_name(rng).split(" ")
+            assert first in vocab.FIRST_NAMES
+            assert last in vocab.LAST_NAMES
+
+    def test_paper_title_components(self):
+        rng = random.Random(1)
+        title = vocab.paper_title(rng)
+        assert any(title.startswith(adj) for adj in vocab.TITLE_ADJECTIVES)
+        assert " for " in title
+
+    def test_topic_list_bounds(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            topics = vocab.topic_list(rng, low=1, high=3)
+            assert 1 <= len(topics) <= 3
+            assert len(set(topics)) == len(topics)  # sampled, no dups
+
+    def test_movie_title_two_words(self):
+        rng = random.Random(3)
+        first, second = vocab.movie_title(rng).split(" ")
+        assert first in vocab.MOVIE_FIRST
+        assert second in vocab.MOVIE_SECOND
+
+
+TALK_LINE = ('Talk: "Scalable Indexing for Web Data" by Alice Chen. '
+             "Topics: query optimization. Location: CS 105 at 3 pm.\n")
+
+
+class TestCyclexBoundaryGrowth:
+    """Pages that grow or shrink exactly at their edges stress the
+    boundary-alignment rules at program level."""
+
+    def run_pair(self, tmp_path, old_text, new_text):
+        task = make_task("talk", work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        system = CyclexSystem(plan, str(tmp_path), task.program_alpha,
+                              task.program_beta)
+        s0 = snapshot_from_texts(0, {"u": old_text})
+        s1 = snapshot_from_texts(1, {"u": new_text})
+        system.process(s0)
+        got = system.process(s1, s0)
+        want = NoReuseSystem(plan).process(s1)
+        assert canonical_results(got) == canonical_results(want)
+
+    def test_text_appended_at_end(self, tmp_path):
+        self.run_pair(tmp_path, TALK_LINE, TALK_LINE + "a new line\n")
+
+    def test_text_prepended_at_start(self, tmp_path):
+        self.run_pair(tmp_path, TALK_LINE, "a new header\n" + TALK_LINE)
+
+    def test_text_removed_from_end(self, tmp_path):
+        self.run_pair(tmp_path, TALK_LINE + "tail\n", TALK_LINE)
+
+    def test_page_becomes_empty(self, tmp_path):
+        self.run_pair(tmp_path, TALK_LINE, "")
+
+    def test_page_was_empty(self, tmp_path):
+        self.run_pair(tmp_path, "", TALK_LINE)
+
+
+class TestEngineEmptyPages:
+    def test_empty_pages_roundtrip(self, tmp_path):
+        task = make_task("play", work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        units = find_units(plan)
+        engine = ReuseEngine(plan, units,
+                             PlanAssignment.uniform(units, "UD"))
+        s0 = snapshot_from_texts(0, {"u": "", "v": "== Filmography ==\n"})
+        s1 = snapshot_from_texts(1, {"u": "", "v": ""})
+        d0, d1 = str(tmp_path / "0"), str(tmp_path / "1")
+        r0 = engine.run_snapshot(s0, None, None, d0)
+        r1 = engine.run_snapshot(s1, s0, d0, d1)
+        assert r0.total_mentions() == 0
+        assert r1.total_mentions() == 0
+
+    def test_single_char_pages(self, tmp_path):
+        task = make_task("play", work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        units = find_units(plan)
+        engine = ReuseEngine(plan, units,
+                             PlanAssignment.uniform(units, "ST"))
+        s0 = snapshot_from_texts(0, {"u": "x"})
+        s1 = snapshot_from_texts(1, {"u": "y"})
+        d0, d1 = str(tmp_path / "0"), str(tmp_path / "1")
+        engine.run_snapshot(s0, None, None, d0)
+        r1 = engine.run_snapshot(s1, s0, d0, d1)
+        want = NoReuseSystem(plan).process(s1)
+        assert canonical_results(r1) == canonical_results(want)

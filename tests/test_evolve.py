@@ -1,0 +1,157 @@
+"""Corpus generators and the evolution model."""
+
+import random
+
+import pytest
+
+from repro.corpus.evolve import ChangeModel, EvolvingCorpus, dblife_corpus, wikipedia_corpus
+from repro.corpus.generators import DBLifeGenerator, WikipediaGenerator
+from repro.corpus.stats import profile_corpus, snapshot_delta
+
+
+class TestChangeModel:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ChangeModel(p_unchanged=1.5)
+
+    def test_rejects_edit_mix_over_one(self):
+        with pytest.raises(ValueError):
+            ChangeModel(p_insert=0.8, p_delete=0.5)
+
+
+class TestGenerators:
+    def test_dblife_page_structure(self):
+        rng = random.Random(0)
+        gen = DBLifeGenerator()
+        page = gen.new_page(rng, "http://x/1")
+        text = page.text()
+        assert "== Service ==" in text
+        assert "== Advising ==" in text
+        assert any("advises" in line for line in page.lines)
+
+    def test_wikipedia_actor_page(self):
+        rng = random.Random(1)
+        gen = WikipediaGenerator()
+        for _ in range(20):
+            page = gen.new_page(rng, "http://x/1")
+            if page.kind == "actor":
+                text = page.text()
+                assert "Born " in text
+                assert "== Filmography ==" in text
+                return
+        pytest.fail("no actor page generated in 20 tries")
+
+    def test_new_line_kinds(self):
+        rng = random.Random(2)
+        gen = WikipediaGenerator()
+        lines = {gen.new_line(rng, "actor") for _ in range(60)}
+        assert any("starred as" in l for l in lines)
+        assert any("grossed $" in l for l in lines)
+
+    def test_modify_line_bumps_numbers(self):
+        rng = random.Random(3)
+        gen = DBLifeGenerator()
+        line = "Alice Chen serves as program chair of SIGMOD 2008."
+        seen = {gen.modify_line(rng, "homepage", line) for _ in range(30)}
+        assert any("SIGMOD 20" in l and "2008" not in l for l in seen)
+
+
+class TestEvolvingCorpus:
+    def test_deterministic(self):
+        a = [s.get(u).digest
+             for s in dblife_corpus(n_pages=10, seed=5).snapshots(3)
+             for u in s.urls()]
+        b = [s.get(u).digest
+             for s in dblife_corpus(n_pages=10, seed=5).snapshots(3)
+             for u in s.urls()]
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = list(dblife_corpus(n_pages=10, seed=1).snapshots(2))
+        b = list(dblife_corpus(n_pages=10, seed=2).snapshots(2))
+        assert [p.digest for p in a[0]] != [p.digest for p in b[0]]
+
+    def test_snapshot_indexes_increment(self):
+        snaps = list(wikipedia_corpus(n_pages=5, seed=0).snapshots(4))
+        assert [s.index for s in snaps] == [0, 1, 2, 3]
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            EvolvingCorpus(DBLifeGenerator(), 0, ChangeModel())
+
+    def test_unchanged_probability_one_freezes_corpus(self):
+        model = ChangeModel(p_unchanged=1.0, p_removed=0.0, p_added=0.0)
+        corpus = EvolvingCorpus(DBLifeGenerator(), 8, model, seed=3)
+        s0, s1 = list(corpus.snapshots(2))
+        assert snapshot_delta(s0, s1).fraction_identical == 1.0
+
+    def test_unchanged_probability_zero_changes_everything(self):
+        model = ChangeModel(p_unchanged=0.0, p_removed=0.0, p_added=0.0,
+                            mean_edits=2.0)
+        corpus = EvolvingCorpus(WikipediaGenerator(), 8, model, seed=3)
+        s0, s1 = list(corpus.snapshots(2))
+        assert snapshot_delta(s0, s1).fraction_identical < 0.3
+
+    def test_page_addition_and_removal(self):
+        model = ChangeModel(p_unchanged=1.0, p_removed=0.5, p_added=0.5)
+        corpus = EvolvingCorpus(DBLifeGenerator(), 20, model, seed=7)
+        s0, s1 = list(corpus.snapshots(2))
+        delta = snapshot_delta(s0, s1)
+        assert delta.shared_urls < len(s0)
+        assert len(s1) != delta.shared_urls  # new URLs appeared
+
+
+class TestPresets:
+    def test_dblife_mostly_identical(self):
+        snaps = list(dblife_corpus(n_pages=60, seed=9).snapshots(4))
+        profile = profile_corpus(snaps)
+        assert profile.avg_fraction_identical > 0.88
+
+    def test_wikipedia_mostly_changed(self):
+        snaps = list(wikipedia_corpus(n_pages=60, seed=9).snapshots(4))
+        profile = profile_corpus(snaps)
+        assert profile.avg_fraction_identical < 0.35
+        # ...but URLs persist: reuse candidates exist.
+        assert profile.avg_fraction_with_previous > 0.9
+
+
+class TestStats:
+    def test_snapshot_delta_counts(self):
+        from repro.corpus.snapshot import snapshot_from_texts
+        prev = snapshot_from_texts(0, {"a": "1", "b": "2", "c": "3"})
+        nxt = snapshot_from_texts(1, {"a": "1", "b": "x", "d": "4"})
+        delta = snapshot_delta(prev, nxt)
+        assert delta.shared_urls == 2
+        assert delta.identical_pages == 1
+        assert delta.fraction_with_previous == pytest.approx(2 / 3)
+        assert delta.fraction_identical == pytest.approx(1 / 3)
+
+    def test_profile_requires_snapshots(self):
+        with pytest.raises(ValueError):
+            profile_corpus([])
+
+
+class TestRenameChurn:
+    def test_renamed_pages_keep_content(self):
+        from repro.corpus.evolve import ChangeModel, EvolvingCorpus
+        from repro.corpus.generators import WikipediaGenerator
+
+        model = ChangeModel(p_unchanged=1.0, p_removed=0.0, p_added=0.0,
+                            p_renamed=1.0)
+        corpus = EvolvingCorpus(WikipediaGenerator(), 6, model, seed=4)
+        s0, s1 = list(corpus.snapshots(2))
+        # Every URL changed...
+        assert not set(s0.urls()) & set(s1.urls())
+        # ...but the content set is identical.
+        assert sorted(p.digest for p in s0) == sorted(p.digest for p in s1)
+
+    def test_partial_rename_rate(self):
+        from repro.corpus.evolve import ChangeModel, EvolvingCorpus
+        from repro.corpus.generators import WikipediaGenerator
+
+        model = ChangeModel(p_unchanged=1.0, p_removed=0.0, p_added=0.0,
+                            p_renamed=0.3)
+        corpus = EvolvingCorpus(WikipediaGenerator(), 40, model, seed=4)
+        s0, s1 = list(corpus.snapshots(2))
+        shared = len(set(s0.urls()) & set(s1.urls()))
+        assert 10 < shared < 40

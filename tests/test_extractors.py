@@ -1,0 +1,232 @@
+"""Extractor base machinery and the rule-based blackboxes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extractors.base import Extraction, Extractor, RelSpan, profiling_mode
+from repro.extractors.rules import (
+    DictionaryExtractor,
+    LineExtractor,
+    RegexExtractor,
+    SectionExtractor,
+    SentenceExtractor,
+    scan_overlapping,
+)
+
+
+class TestRelSpanAndExtraction:
+    def test_relspan_shift(self):
+        assert RelSpan(2, 5).shift(3) == RelSpan(5, 8)
+        assert len(RelSpan(2, 5)) == 3
+
+    def test_relspan_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            RelSpan(5, 2)
+
+    def test_extent_hull(self):
+        ext = Extraction.of(a=RelSpan(10, 15), b=RelSpan(2, 6), n=7)
+        assert ext.extent() == (2, 15)
+
+    def test_extent_none_without_spans(self):
+        assert Extraction.of(n=7).extent() is None
+
+    def test_shift_moves_spans_only(self):
+        ext = Extraction.of(a=RelSpan(1, 3), n=7).shift(10)
+        assert ext.get("a") == RelSpan(11, 13)
+        assert ext.get("n") == 7
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            Extraction.of(a=RelSpan(0, 1)).get("zzz")
+
+    def test_span_items(self):
+        ext = Extraction.of(a=RelSpan(0, 2), n=5)
+        assert ext.span_items() == [("a", RelSpan(0, 2))]
+
+
+class BoomExtractor(Extractor):
+    """Emits a fixed oversized extraction to test scope enforcement."""
+
+    def __init__(self):
+        super().__init__("boom", ["v"], scope=5, context=0)
+
+    def _extract(self, text):
+        yield Extraction.of(v=RelSpan(0, len(text)))
+
+
+class TestExtractorBase:
+    def test_scope_violation_raises(self):
+        with pytest.raises(ValueError, match="scope"):
+            BoomExtractor().extract("0123456789")
+
+    def test_scope_ok_under_limit(self):
+        assert len(BoomExtractor().extract("abc")) == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RegexExtractor("x", "a", groups={}, scope=0, context=1)
+        with pytest.raises(ValueError):
+            RegexExtractor("x", "a", groups={}, scope=5, context=-1)
+
+    def test_burn_deterministic_and_skippable(self):
+        ex = RegexExtractor("x", "zzz", groups={}, scope=5, context=1,
+                            work_factor=3)
+        assert ex._burn("hello") == ex._burn("hello")
+        with profiling_mode():
+            assert ex._burn("hello") == 0
+
+    def test_profiling_mode_restores(self):
+        ex = RegexExtractor("x", "zzz", groups={}, scope=5, context=1,
+                            work_factor=1)
+        with profiling_mode():
+            pass
+        assert ex._burn("a") != 0 or ex.work_factor == 0
+
+
+class TestScanOverlapping:
+    def test_finds_overlapping_matches(self):
+        import re
+        pattern = re.compile(r"aa")
+        starts = [m.start() for m in scan_overlapping(pattern, "aaaa")]
+        assert starts == [0, 1, 2]
+
+    def test_position_determinism_under_truncation(self):
+        """A match at position x is found iff the pattern matches at x,
+        regardless of other matches — the property region reuse needs."""
+        import re
+        pattern = re.compile(r"ab+")
+        text = "xabbxabbbx"
+        full = {(m.start(), m.end()) for m in scan_overlapping(pattern, text)}
+        sub = {(m.start() + 4, m.end() + 4)
+               for m in scan_overlapping(pattern, text[4:])}
+        assert sub <= full
+
+
+class TestRegexExtractor:
+    def test_groups_become_spans(self):
+        ex = RegexExtractor(
+            "chair", r"(?P<p>[A-Z][a-z]+) chairs (?P<c>[A-Z]+)",
+            groups={"p": "p", "c": "c"}, scope=60, context=4)
+        got = ex.extract("Alice chairs SIGMOD today")
+        assert len(got) == 1
+        assert got[0].get("p") == RelSpan(0, 5)
+        assert got[0].get("c") == RelSpan(13, 19)
+
+    def test_scalar_outputs(self):
+        ex = RegexExtractor(
+            "gross", r"\$(?P<m>\d+)M of (?P<t>[a-z]+)",
+            groups={"t": "t"},
+            scalars={"m": lambda m: int(m.group("m"))},
+            scope=40, context=4)
+        got = ex.extract("made $120M of profit")
+        assert got[0].get("m") == 120
+
+    def test_optional_group_missing_skips(self):
+        ex = RegexExtractor("opt", r"a(?P<x>b)?c",
+                            groups={"x": "x"}, scope=10, context=2)
+        got = ex.extract("ac abc")
+        assert len(got) == 1  # the "ac" match has no group x
+
+
+class TestDictionaryExtractor:
+    def test_finds_phrases(self):
+        ex = DictionaryExtractor("topics", "t",
+                                 ["data mining", "indexing"],
+                                 scope=30, context=2)
+        got = ex.extract("on data mining and indexing tricks")
+        texts = sorted(
+            ("on data mining and indexing tricks"[s.start:s.end])
+            for _, s in [e.span_items()[0] for e in got])
+        assert texts == ["data mining", "indexing"]
+
+    def test_prefers_longest_phrase(self):
+        ex = DictionaryExtractor("t", "t", ["data", "data mining"],
+                                 scope=30, context=2)
+        got = ex.extract("data mining")
+        spans = {e.get("t") for e in got}
+        assert RelSpan(0, 11) in spans
+
+    def test_case_insensitive(self):
+        ex = DictionaryExtractor("t", "t", ["sigmod"], scope=20,
+                                 context=2, ignore_case=True)
+        assert len(ex.extract("at SIGMOD 2009")) == 1
+
+    def test_rejects_empty_dictionary(self):
+        with pytest.raises(ValueError):
+            DictionaryExtractor("t", "t", [], scope=10, context=1)
+
+
+class TestLineExtractor:
+    def test_extracts_matching_lines(self):
+        ex = LineExtractor("l", "v", scope=100, must_contain="chair")
+        text = "intro\nBob is demo chair of X.\nclosing"
+        got = ex.extract(text)
+        assert len(got) == 1
+        span = got[0].get("v")
+        assert text[span.start:span.end] == "Bob is demo chair of X."
+
+    def test_skips_blank_and_long_lines(self):
+        ex = LineExtractor("l", "v", scope=10)
+        got = ex.extract("\n\nshort\n" + "x" * 50 + "\nok\n")
+        texts = {"short", "ok"}
+        found = {e.get("v") for e in got}
+        assert len(found) == len(texts)
+
+    def test_regex_filter(self):
+        ex = LineExtractor("l", "v", scope=100, must_match=r"\d{4}")
+        got = ex.extract("no year here\nSIGMOD 2009 rocks\n")
+        assert len(got) == 1
+
+
+class TestSectionExtractor:
+    TEXT = ("Header line\n"
+            "== Awards ==\n"
+            "first award line\nsecond award line\n"
+            "== Other ==\n"
+            "tail\n")
+
+    def test_extracts_section_body(self):
+        ex = SectionExtractor("s", "v", "Awards", scope=500)
+        got = ex.extract(self.TEXT)
+        assert len(got) == 1
+        span = got[0].get("v")
+        assert self.TEXT[span.start:span.end] == (
+            "first award line\nsecond award line")
+
+    def test_last_section_runs_to_end(self):
+        ex = SectionExtractor("s", "v", "Other", scope=500)
+        got = ex.extract(self.TEXT)
+        span = got[0].get("v")
+        assert self.TEXT[span.start:span.end] == "tail"
+
+    def test_missing_section(self):
+        ex = SectionExtractor("s", "v", "Nothing", scope=500)
+        assert ex.extract(self.TEXT) == []
+
+    def test_truncates_at_scope(self):
+        ex = SectionExtractor("s", "v", "Awards", scope=10)
+        got = ex.extract(self.TEXT)
+        span = got[0].get("v")
+        assert len(span) == 9
+
+
+class TestSentenceExtractor:
+    def test_splits_sentences(self):
+        ex = SentenceExtractor("s", "v")
+        text = "First one. Second one! Third?"
+        got = ex.extract(text)
+        sents = [text[e.get("v").start:e.get("v").end] for e in got]
+        assert sents == ["First one.", "Second one!", "Third?"]
+
+    def test_skips_newline_spanning(self):
+        ex = SentenceExtractor("s", "v")
+        got = ex.extract("line one\nline two.")
+        sents = [e.get("v") for e in got]
+        assert len(sents) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet="ab .\nX", min_size=0, max_size=200))
+def test_sentence_extractor_never_crashes(text):
+    SentenceExtractor("s", "v").extract(text)

@@ -1,0 +1,127 @@
+"""Learning-based extractors: ME segmenter and CRF field extractors."""
+
+import pytest
+
+from repro.extractors.learning import (
+    CRFFieldExtractor,
+    MaxEntSentenceSegmenter,
+    _LinearChainCRF,
+    _LogisticModel,
+)
+
+
+@pytest.fixture(scope="module")
+def segmenter():
+    return MaxEntSentenceSegmenter()
+
+
+@pytest.fixture(scope="module")
+def crf_birth_date():
+    return CRFFieldExtractor("crfBirthDate", "value", "birth_date")
+
+
+@pytest.fixture(scope="module")
+def crf_name():
+    return CRFFieldExtractor("crfName", "value", "name")
+
+
+class TestLogisticModel:
+    def test_learns_separable_data(self):
+        model = _LogisticModel()
+        data = [(["f=yes"], True), (["f=no"], False)] * 20
+        model.train(data)
+        assert model.predict(["f=yes"])
+        assert not model.predict(["f=no"])
+
+
+class TestSegmenter:
+    def test_declares_paper_parameters(self, segmenter):
+        assert segmenter.scope == 321
+        assert segmenter.context == 16
+
+    def test_splits_simple_sentences(self, segmenter):
+        text = ("Alice Chen starred as Captain Reyes in Midnight Horizon "
+                "(1994). Critics praised the cinematography and the "
+                "supporting cast.")
+        got = segmenter.extract(text)
+        sents = [text[e.get("sent").start:e.get("sent").end] for e in got]
+        assert len(sents) == 2
+        assert sents[0].endswith("(1994).")
+
+    def test_model_cached_across_instances(self):
+        a = MaxEntSentenceSegmenter()
+        b = MaxEntSentenceSegmenter()
+        assert a.model is b.model
+
+    def test_deterministic(self, segmenter):
+        text = "Born Alice Mary Chen on July 9, 1956. She acted a lot."
+        first = segmenter.extract(text)
+        second = segmenter.extract(text)
+        assert first == second
+
+    def test_empty_text(self, segmenter):
+        assert segmenter.extract("") == []
+
+
+class TestCRFCore:
+    def test_viterbi_respects_bio_constraint(self):
+        crf = _LinearChainCRF()
+        crf.emit[("w=x", "I")] = 5.0  # tempt it into illegal I-after-O
+        path = crf.viterbi([["w=x"], ["w=x"]])
+        for prev, cur in zip(["O"] + path, path):
+            assert not (cur == "I" and prev == "O")
+
+    def test_viterbi_empty(self):
+        assert _LinearChainCRF().viterbi([]) == []
+
+    def test_training_reduces_errors(self):
+        crf = _LinearChainCRF()
+        data = [([["w=a"], ["w=b"]], ["B", "I"]),
+                ([["w=c"], ["w=d"]], ["O", "O"])] * 5
+        crf.train(data, epochs=3)
+        assert crf.viterbi([["w=a"], ["w=b"]]) == ["B", "I"]
+        assert crf.viterbi([["w=c"], ["w=d"]]) == ["O", "O"]
+
+
+class TestCRFFieldExtractors:
+    def test_birth_date(self, crf_birth_date):
+        text = "Born Alice Mary Chen on July 9, 1956."
+        got = crf_birth_date.extract(text)
+        values = [text[e.get("value").start:e.get("value").end]
+                  for e in got]
+        assert any("July" in v and "1956" in v for v in values)
+
+    def test_name_on_intro_sentence(self, crf_name):
+        text = "Walter Schmidt is a film actor."
+        got = crf_name.extract(text)
+        values = [text[e.get("value").start:e.get("value").end]
+                  for e in got]
+        assert "Walter Schmidt" in values
+
+    def test_filler_yields_nothing_mostly(self, crf_birth_date):
+        got = crf_birth_date.extract(
+            "The production received generally favorable reviews.")
+        assert len(got) <= 1  # permits a rare false positive, not spam
+
+    def test_conservative_alpha_beta(self, crf_birth_date):
+        assert crf_birth_date.context == crf_birth_date.scope
+
+    def test_models_cached_per_field(self):
+        a = CRFFieldExtractor("x1", "v", "roles")
+        b = CRFFieldExtractor("x2", "v", "roles")
+        assert a.model is b.model
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            CRFFieldExtractor("x", "v", "nonsense")
+
+    def test_empty_region(self, crf_name):
+        assert crf_name.extract("") == []
+
+    def test_roles_extraction(self):
+        crf = CRFFieldExtractor("crfRoles", "value", "roles")
+        text = "Notable roles include Midnight Horizon and Velvet Empire."
+        got = crf.extract(text)
+        values = [text[e.get("value").start:e.get("value").end]
+                  for e in got]
+        assert any("Midnight Horizon" in v for v in values)

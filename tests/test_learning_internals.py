@@ -1,0 +1,111 @@
+"""Internals of the learning substrate and DelexSystem.resume edges."""
+
+import pytest
+
+from repro.extractors.learning import (
+    _bio_labels,
+    _field_training_sentences,
+    _me_features,
+    _me_training_text,
+    _token_features,
+    _TOKEN_RE,
+)
+
+
+class TestMETrainingData:
+    def test_boundaries_are_delimiters(self):
+        text, boundaries = _me_training_text(seed=3, n_lines=40)
+        for pos in boundaries:
+            assert text[pos] in ".!?\n"
+
+    def test_deterministic(self):
+        assert _me_training_text(seed=5) == _me_training_text(seed=5)
+
+    def test_features_at_text_edges(self):
+        feats = _me_features("a.", 1)
+        assert any(f.startswith("R1=") for f in feats)
+        assert "cur=." in feats
+
+
+class TestTokenFeatures:
+    def test_shape_features(self):
+        tokens = ["Born", "Alice", "on", "July", "9,", "1956."]
+        feats = _token_features(tokens, 3)
+        assert "shape=Month" in feats
+        assert "prev=on" in feats
+
+    def test_edge_tokens(self):
+        feats_first = _token_features(["Only"], 0)
+        assert "prev_shape=^" in feats_first
+        assert "next_shape=$" in feats_first
+
+
+class TestBIOLabels:
+    def run(self, text, targets):
+        tokens = list(_TOKEN_RE.finditer(text))
+        return _bio_labels(text, tokens, targets)
+
+    def test_single_target(self):
+        text = "Born Alice Chen today."
+        labels = self.run(text, [(5, 15)])  # "Alice Chen"
+        assert labels == ["O", "B", "I", "O"]
+
+    def test_no_targets(self):
+        assert self.run("just filler words", []) == ["O", "O", "O"]
+
+    def test_punctuation_trimming_repair(self):
+        # A target whose first token falls outside but later tokens
+        # inside must not produce I-after-O.
+        text = "x Alice Chen."
+        labels = self.run(text, [(2, 12)])
+        for prev, cur in zip(["O"] + labels, labels):
+            assert not (cur == "I" and prev == "O")
+
+
+class TestFieldTrainingData:
+    @pytest.mark.parametrize("field", ["name", "birth_name",
+                                       "birth_date", "roles"])
+    def test_contains_positives_and_negatives(self, field):
+        data = _field_training_sentences(field, seed=2, count=60)
+        positives = [t for t in data if t[1]]
+        negatives = [t for t in data if not t[1]]
+        assert positives and negatives
+        for text, targets in positives:
+            for s, e in targets:
+                assert 0 <= s < e <= len(text)
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError):
+            _field_training_sentences("bogus", seed=1, count=4)
+
+
+class TestDelexResumeEdges:
+    def test_rejects_negative_serial(self, tmp_path):
+        from repro.core.delex import DelexSystem
+        from repro.extractors import make_task
+
+        system = DelexSystem(make_task("play", work_scale=0),
+                             str(tmp_path))
+        with pytest.raises(ValueError):
+            system.resume([], None, -1)
+
+    def test_rejects_missing_capture_dir(self, tmp_path):
+        from repro.core.delex import DelexSystem
+        from repro.extractors import make_task
+
+        system = DelexSystem(make_task("play", work_scale=0),
+                             str(tmp_path))
+        with pytest.raises(ValueError, match="missing"):
+            system.resume([], str(tmp_path / "nope"), 1)
+
+    def test_resume_with_no_prev_dir_bootstraps(self, tmp_path):
+        from repro.core.delex import DelexSystem
+        from repro.corpus import wikipedia_corpus
+        from repro.extractors import make_task
+
+        snaps = list(wikipedia_corpus(n_pages=5, seed=9).snapshots(1))
+        system = DelexSystem(make_task("play", work_scale=0),
+                             str(tmp_path))
+        system.resume([], None, 0)
+        result = system.process(snaps[0])
+        assert result.pages == len(snaps[0])

@@ -1,0 +1,173 @@
+"""The evaluation IE task library (Figure 8b parity + behavior)."""
+
+import pytest
+
+from repro.corpus.generators import DBLifeGenerator, WikipediaGenerator
+from repro.extractors.library import ALL_TASKS, RULE_TASKS, make_task
+from repro.plan import compile_program, find_units, partition_chains
+from repro.core.noreuse import NoReuseSystem
+from repro.corpus.snapshot import Snapshot
+from repro.text.document import Page
+import random
+
+FIGURE_8B = {  # task -> number of IE blackboxes (Figure 8b)
+    "talk": 1,
+    "chair": 3,
+    "advise": 5,
+    "blockbuster": 2,
+    "play": 4,
+    "award": 6,
+}
+
+
+class TestTaskConstruction:
+    @pytest.mark.parametrize("name", ALL_TASKS)
+    def test_builds_and_compiles(self, name):
+        task = make_task(name, work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        units = find_units(plan)
+        assert len(units) == len(task.blackboxes)
+        assert partition_chains(units)
+
+    @pytest.mark.parametrize("name,count", sorted(FIGURE_8B.items()))
+    def test_blackbox_counts_match_figure_8b(self, name, count):
+        assert len(make_task(name, work_scale=0).blackboxes) == count
+
+    def test_infobox_has_five_blackboxes(self):
+        assert len(make_task("infobox").blackboxes) == 5
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            make_task("nope")
+
+    def test_talk_has_paper_alpha_beta(self):
+        task = make_task("talk", work_scale=0)
+        (extractor,) = task.extractors()
+        assert extractor.scope == 155
+        assert extractor.context == 9
+        assert task.program_alpha == 155
+        assert task.program_beta == 9
+
+    def test_section_tasks_have_page_scale_program_context(self):
+        for name in ("chair", "advise", "blockbuster", "play", "award"):
+            task = make_task(name, work_scale=0)
+            assert task.program_beta >= 8000, name
+
+    def test_work_scale_zero_disables_burn(self):
+        task = make_task("chair", work_scale=0)
+        assert all(e.work_factor == 0 for e in task.extractors())
+
+
+def run_on_text(task, text):
+    plan = compile_program(task.program, task.registry)
+    system = NoReuseSystem(plan)
+    snap = Snapshot(0, [Page.from_url("u", text)])
+    result = system.process(snap)
+    return result.results
+
+
+class TestTaskExtractionBehavior:
+    def test_talk_extracts_planted_fact(self):
+        task = make_task("talk", work_scale=0)
+        text = ('Talk: "Scalable Indexing for Web Data" by Alice Chen. '
+                "Topics: query optimization, web crawling. "
+                "Location: CS 105 at 3 pm.\n")
+        results = run_on_text(task, text)
+        rows = results["talk"]
+        assert len(rows) == 1
+        fields = dict(rows[0])
+        assert fields["speaker"][2] == "Alice Chen"
+        assert "query optimization" in fields["topics"][2]
+
+    def test_chair_extracts_planted_fact(self):
+        task = make_task("chair", work_scale=0)
+        text = ("== Service ==\n"
+                "Karen Xu serves as demo chair of VLDB 2008.\n"
+                "== News ==\nnothing\n")
+        rows = run_on_text(task, text)["chair"]
+        fields = dict(rows[0])
+        assert fields["person"][2] == "Karen Xu"
+        assert fields["ctype"][2] == "demo"
+        assert fields["conf"][2] == "VLDB 2008"
+
+    def test_chair_ignores_facts_outside_section(self):
+        task = make_task("chair", work_scale=0)
+        text = "Karen Xu serves as demo chair of VLDB 2008.\n"
+        assert run_on_text(task, text)["chair"] == []
+
+    def test_advise_extracts_triple(self):
+        task = make_task("advise", work_scale=0)
+        text = ("== Advising ==\n"
+                "Prof. Maria Gupta advises Ivan Rossi on entity resolution.\n")
+        rows = run_on_text(task, text)["advise"]
+        fields = dict(rows[0])
+        assert fields["advisor"][2] == "Maria Gupta"
+        assert fields["advisee"][2] == "Ivan Rossi"
+        assert fields["topic"][2] == "entity resolution"
+
+    def test_blockbuster_filters_by_gross(self):
+        task = make_task("blockbuster", work_scale=0)
+        text = ("== Box office ==\n"
+                "Midnight Horizon grossed $240 million worldwide.\n"
+                "Velvet Garden grossed $35 million worldwide.\n")
+        rows = run_on_text(task, text)["blockbuster"]
+        movies = {dict(r)["movie"][2] for r in rows}
+        assert movies == {"Midnight Horizon"}
+
+    def test_play_extracts_pair(self):
+        task = make_task("play", work_scale=0)
+        text = ("== Filmography ==\n"
+                "Nina Weber starred as Dr. Malone in Crimson Harbor "
+                "(1999).\n")
+        rows = run_on_text(task, text)["play"]
+        fields = dict(rows[0])
+        assert fields["actor"][2] == "Nina Weber"
+        assert fields["movie"][2] == "Crimson Harbor"
+
+    def test_award_extracts_all_four_fields(self):
+        task = make_task("award", work_scale=0)
+        text = ("== Awards ==\n"
+                "Oscar Novak won the Golden Globe Award for Paper Kingdom "
+                "(2001).\n")
+        rows = run_on_text(task, text)["award"]
+        fields = dict(rows[0])
+        assert fields["actor"][2] == "Oscar Novak"
+        assert fields["award"][2] == "Golden Globe Award"
+        assert fields["movie"][2] == "Paper Kingdom"
+        assert fields["year"][2] == "2001"
+
+    def test_infobox_extracts_from_actor_page(self):
+        task = make_task("infobox")
+        rng = random.Random(4)
+        gen = WikipediaGenerator()
+        page = gen._actor_page(rng, "http://x/a")
+        results = run_on_text(task, page.text())
+        assert results["birthDate"], "expected a birth date mention"
+        assert results["name"], "expected a name mention"
+
+
+class TestGeneratorExtractorContract:
+    """Every generated fact line must be extractable — the corpus and
+    the task library form one contract."""
+
+    def test_dblife_fact_lines_extract(self):
+        rng = random.Random(9)
+        gen = DBLifeGenerator()
+        chair = make_task("chair", work_scale=0)
+        found = 0
+        for _ in range(10):
+            line = gen._chair_line(rng)
+            rows = run_on_text(chair, f"== Service ==\n{line}\n")["chair"]
+            found += bool(rows)
+        assert found == 10
+
+    def test_wikipedia_fact_lines_extract(self):
+        rng = random.Random(9)
+        gen = WikipediaGenerator()
+        play = make_task("play", work_scale=0)
+        found = 0
+        for _ in range(10):
+            line = gen._play_line(rng)
+            rows = run_on_text(play, f"== Filmography ==\n{line}\n")["play"]
+            found += bool(rows)
+        assert found == 10

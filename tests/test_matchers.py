@@ -1,0 +1,301 @@
+"""Matcher tests: DN, UD (Myers), ST (suffix automaton), RU, cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matchers import (
+    DNMatcher,
+    MatchCache,
+    RUMatcher,
+    STMatcher,
+    SuffixAutomaton,
+    UDMatcher,
+    make_matcher,
+    myers_lcs_pairs,
+)
+from repro.text.regions import MatchSegment
+from repro.text.span import Interval
+
+
+def whole(text):
+    return Interval(0, len(text))
+
+
+class TestDN:
+    def test_always_empty(self):
+        p, q = "same text", "same text"
+        assert DNMatcher().match(p, whole(p), q, whole(q)) == []
+
+
+class TestMyers:
+    def test_identical(self):
+        pairs = myers_lcs_pairs(list("abc"), list("abc"))
+        assert pairs == [(0, 0), (1, 1), (2, 2)]
+
+    def test_insertion(self):
+        pairs = myers_lcs_pairs(list("ac"), list("abc"))
+        assert pairs == [(0, 0), (1, 2)]
+
+    def test_deletion(self):
+        pairs = myers_lcs_pairs(list("abc"), list("ac"))
+        assert pairs == [(0, 0), (2, 1)]
+
+    def test_disjoint(self):
+        assert myers_lcs_pairs(list("abc"), list("xyz")) == []
+
+    def test_empty(self):
+        assert myers_lcs_pairs([], list("ab")) == []
+        assert myers_lcs_pairs(list("ab"), []) == []
+
+    def test_capped_distance_falls_back(self):
+        a = ["common"] + [f"a{i}" for i in range(20)] + ["tail"]
+        b = ["common"] + [f"b{i}" for i in range(20)] + ["tail"]
+        pairs = myers_lcs_pairs(a, b, max_d=4)
+        assert (0, 0) in pairs  # prefix survives in the fallback
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=25),
+           st.lists(st.sampled_from("abcd"), max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_pairs_form_valid_common_subsequence(self, a, b):
+        pairs = myers_lcs_pairs(a, b)
+        for (x1, y1), (x2, y2) in zip(pairs, pairs[1:]):
+            assert x1 < x2 and y1 < y2
+        for x, y in pairs:
+            assert a[x] == b[y]
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=18),
+           st.lists(st.sampled_from("abcd"), max_size=18))
+    @settings(max_examples=40, deadline=None)
+    def test_lcs_is_optimal(self, a, b):
+        import difflib
+        ours = len(myers_lcs_pairs(a, b))
+        theirs = sum(block.size for block in
+                     difflib.SequenceMatcher(a=a, b=b,
+                                             autojunk=False)
+                     .get_matching_blocks())
+        # Myers finds a true LCS; difflib's is at most as long.
+        assert ours >= theirs
+
+
+class TestUDMatcher:
+    def test_identical_pages_one_segment(self):
+        text = "line one\nline two\nline three"
+        got = UDMatcher().match(text, whole(text), text, whole(text))
+        assert len(got) == 1
+        assert got[0].length == len(text)
+
+    def test_edit_in_middle(self):
+        p = "aaa\nCHANGED\nccc"
+        q = "aaa\nbbb\nccc"
+        got = UDMatcher().match(p, whole(p), q, whole(q))
+        assert all(seg.verify(p, q) for seg in got)
+        covered = sum(s.length for s in got)
+        assert covered >= 6  # both unchanged lines found
+
+    def test_misses_moved_blocks(self):
+        p = "bbb\naaa"
+        q = "aaa\nbbb"
+        got = UDMatcher().match(p, whole(p), q, whole(q))
+        assert sum(s.length for s in got) <= 4  # only one side of the swap
+
+    def test_segments_verify_on_regions(self):
+        p = "xxx\nshared line\nyyy"
+        q = "zzz\nshared line\nwww"
+        got = UDMatcher().match(p, Interval(4, 15), q, Interval(4, 15))
+        for seg in got:
+            assert seg.verify(p, q)
+
+
+class TestSuffixAutomaton:
+    def test_recognizes_substrings(self):
+        sam = SuffixAutomaton("abcbc")
+        # Walk "cbc" through transitions.
+        state = 0
+        for ch in "cbc":
+            assert ch in sam.next[state]
+            state = sam.next[state][ch]
+
+    def test_first_end_positions_consistent(self):
+        text = "abab"
+        sam = SuffixAutomaton(text)
+        state = 0
+        for i, ch in enumerate("ab"):
+            state = sam.next[state][ch]
+        end = sam.first_end[state]
+        assert text[end - 1:end + 1] == "ab" or text[end] == "b"
+
+
+class TestSTMatcher:
+    def test_finds_moved_block(self):
+        p = "BLOCKAAAA moved here tail"
+        q = "head tail BLOCKAAAA stays"
+        got = STMatcher(min_length=8).match(p, whole(p), q, whole(q))
+        assert any("BLOCKAAAA" in p[s.p_start:s.p_start + s.length]
+                   for s in got)
+        for seg in got:
+            assert seg.verify(p, q)
+
+    def test_identical_full_match(self):
+        text = "a shared piece of text that is long enough"
+        got = STMatcher(min_length=8).match(text, whole(text),
+                                            text, whole(text))
+        assert max(s.length for s in got) == len(text)
+
+    def test_min_length_suppresses_short(self):
+        p = "abcdef z 123456"
+        q = "abcdef y 123456"
+        got = STMatcher(min_length=100).match(p, whole(p), q, whole(q))
+        assert got == []
+
+    def test_respects_regions(self):
+        p = "junk COMMONTEXT junk"
+        q = "pre COMMONTEXT post"
+        got = STMatcher(min_length=6).match(p, Interval(5, 15),
+                                            q, Interval(4, 14))
+        for seg in got:
+            assert Interval(5, 15).contains(seg.p_interval)
+            assert Interval(4, 14).contains(seg.q_interval)
+            assert seg.verify(p, q)
+
+    def test_rejects_bad_min_length(self):
+        with pytest.raises(ValueError):
+            STMatcher(min_length=0)
+
+    @given(st.text(alphabet="abn\n ", min_size=0, max_size=80),
+           st.text(alphabet="abn\n ", min_size=0, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_all_segments_verify(self, p, q):
+        got = STMatcher(min_length=3).match(p, whole(p), q, whole(q))
+        for seg in got:
+            assert seg.verify(p, q)
+
+
+class TestRU:
+    def test_empty_cache_behaves_like_dn(self):
+        cache = MatchCache()
+        got = RUMatcher(cache).match("abc", whole("abc"),
+                                     "abc", whole("abc"))
+        assert got == []
+
+    def test_recycles_and_trims(self):
+        p = "0123456789"
+        q = "0123456789"
+        cache = MatchCache()
+        cache.record([MatchSegment(0, 0, 10)])
+        got = RUMatcher(cache).match(p, Interval(2, 8), q, Interval(4, 9))
+        assert len(got) == 1
+        seg = got[0]
+        assert Interval(2, 8).contains(seg.p_interval)
+        assert Interval(4, 9).contains(seg.q_interval)
+        assert seg.verify(p, q)
+
+    def test_cache_clear(self):
+        cache = MatchCache()
+        cache.record([MatchSegment(0, 0, 5)])
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestFactory:
+    def test_all_names(self):
+        cache = MatchCache()
+        for name in ("DN", "UD", "ST", "RU"):
+            assert make_matcher(name, cache).name == name
+
+    def test_ru_requires_cache(self):
+        with pytest.raises(ValueError):
+            make_matcher("RU")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_matcher("XX", MatchCache())
+
+
+@given(st.text(alphabet="abc\n", min_size=0, max_size=120),
+       st.text(alphabet="abc\n", min_size=0, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_ud_segments_always_verify(p, q):
+    got = UDMatcher().match(p, whole(p), q, whole(q))
+    for seg in got:
+        assert seg.verify(p, q)
+
+
+class TestWinnowing:
+    def test_identical_full_match(self):
+        from repro.matchers import WinnowingMatcher
+        text = "a long enough identical stretch of text for fingerprints"
+        got = WinnowingMatcher().match(text, whole(text), text, whole(text))
+        assert got and max(s.length for s in got) == len(text)
+
+    def test_finds_moved_block(self):
+        from repro.matchers import WinnowingMatcher
+        block = "THE MOVED BLOCK OF CONTENT 12345"
+        p = block + " trailing stuff here"
+        q = "leading stuff here " + block
+        got = WinnowingMatcher(k=8, window=4).match(p, whole(p),
+                                                    q, whole(q))
+        assert any(block in p[s.p_start:s.p_start + s.length]
+                   for s in got)
+        for seg in got:
+            assert seg.verify(p, q)
+
+    def test_respects_regions(self):
+        from repro.matchers import WinnowingMatcher
+        p = "xxxx SHARED CONTENT HERE yyyy"
+        q = "aaaa SHARED CONTENT HERE bbbb"
+        region_p = Interval(4, 25)
+        region_q = Interval(4, 25)
+        for seg in WinnowingMatcher(k=8, window=4).match(p, region_p,
+                                                         q, region_q):
+            assert region_p.contains(seg.p_interval)
+            assert region_q.contains(seg.q_interval)
+            assert seg.verify(p, q)
+
+    def test_rejects_bad_params(self):
+        from repro.matchers import WinnowingMatcher
+        with pytest.raises(ValueError):
+            WinnowingMatcher(k=1)
+
+    def test_factory_knows_ws(self):
+        assert make_matcher("WS", MatchCache()).name == "WS"
+
+    @given(st.text(alphabet="abc \n", min_size=0, max_size=150),
+           st.text(alphabet="abc \n", min_size=0, max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_all_segments_verify(self, p, q):
+        from repro.matchers import WinnowingMatcher
+        got = WinnowingMatcher(k=6, window=4).match(p, whole(p),
+                                                    q, whole(q))
+        for seg in got:
+            assert seg.verify(p, q)
+
+    def test_engine_accepts_ws_assignment(self, tmp_path):
+        import os
+
+        from repro.core.noreuse import NoReuseSystem
+        from repro.core.runner import canonical_results
+        from repro.corpus.snapshot import snapshot_from_texts
+        from repro.extractors import make_task
+        from repro.plan import compile_program, find_units
+        from repro.reuse.engine import PlanAssignment, ReuseEngine
+
+        task = make_task("play", work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        units = find_units(plan)
+        assignment = PlanAssignment(
+            {units[0].uid: "WS", **{u.uid: "RU" for u in units[1:]}})
+        text = ("== Filmography ==\n"
+                "Nina Weber starred as Dr. Malone in Crimson Harbor "
+                "(1999).\n")
+        s0 = snapshot_from_texts(0, {"u": text})
+        s1 = snapshot_from_texts(1, {"u": "new intro\n" + text})
+        engine = ReuseEngine(plan, units, assignment)
+        engine.run_snapshot(s0, None, None, str(tmp_path / "0"))
+        r1 = engine.run_snapshot(s1, s0, str(tmp_path / "0"),
+                                 str(tmp_path / "1"))
+        expected = NoReuseSystem(plan).process(s1)
+        assert canonical_results(r1) == canonical_results(expected)
+        copied = sum(s.copied_tuples for s in r1.unit_stats.values())
+        assert copied > 0

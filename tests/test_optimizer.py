@@ -1,0 +1,240 @@
+"""Cost model, statistics collection, Algorithm 1, enumeration."""
+
+import pytest
+
+from repro.corpus import wikipedia_corpus
+from repro.extractors import make_task
+from repro.matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME
+from repro.optimizer.cost import (
+    from_scratch_cost,
+    plan_cost,
+    rank_plans,
+    resolve_ru_donor,
+    unit_cost,
+)
+from repro.optimizer.enumerate import (
+    canonical_plans,
+    count_assignments,
+    enumerate_assignments,
+)
+from repro.optimizer.params import CostWeights, Statistics, UnitEstimates
+from repro.optimizer.search import search_plan
+from repro.optimizer.stats import collect_statistics
+from repro.plan import compile_program, find_units, partition_chains
+from repro.reuse.engine import PlanAssignment, ReuseEngine
+
+
+def synthetic_stats(units, extract_rate=1e-5, g_st=0.1, g_ud=0.3,
+                    st_rate=2e-6, ud_rate=5e-7, f=0.9, m=100):
+    """Hand-built statistics with controllable trade-offs."""
+    estimates = {}
+    for u in units:
+        est = UnitEstimates(a=2.0, a_prev=2.0, l=300.0,
+                            extract_rate=extract_rate,
+                            b_blocks=2.0, c_blocks=2.0)
+        est.s = {ST_NAME: 2.0, UD_NAME: 2.0, RU_NAME: 2.0}
+        est.g = {ST_NAME: g_st, UD_NAME: g_ud}
+        est.h = {ST_NAME: 2.0, UD_NAME: 1.0}
+        est.g_ru = {ST_NAME: g_st * 1.1, UD_NAME: g_ud * 1.1}
+        est.h_ru = {ST_NAME: 2.0, UD_NAME: 1.0}
+        estimates[u.uid] = est
+    weights = CostWeights(match_rate={ST_NAME: st_rate, UD_NAME: ud_rate,
+                                      RU_NAME: 1e-9})
+    return Statistics(f=f, m=m, d_blocks=50.0, units=estimates,
+                      weights=weights)
+
+
+@pytest.fixture(scope="module")
+def play_setup():
+    task = make_task("play", work_scale=0)
+    plan = compile_program(task.program, task.registry)
+    units = find_units(plan)
+    chains = partition_chains(units)
+    return plan, units, chains
+
+
+class TestUnitCost:
+    def test_dn_cost_is_pure_extraction_plus_io(self, play_setup):
+        _, units, _ = play_setup
+        stats = synthetic_stats(units)
+        unit = units[0]
+        cost = unit_cost(unit, DN_NAME, stats, None)
+        est = stats.units[unit.uid]
+        expected_extract = (est.extract_rate * est.a * stats.m * est.l)
+        assert cost == pytest.approx(
+            expected_extract + stats.weights.io_per_block * est.b_blocks,
+            rel=0.01)
+
+    def test_matching_reduces_extraction_term(self, play_setup):
+        _, units, _ = play_setup
+        stats = synthetic_stats(units, extract_rate=1e-3)
+        unit = units[0]
+        assert unit_cost(unit, ST_NAME, stats, None) < \
+            unit_cost(unit, DN_NAME, stats, None)
+
+    def test_expensive_matcher_can_lose(self, play_setup):
+        _, units, _ = play_setup
+        # Extraction is nearly free; matching is expensive.
+        stats = synthetic_stats(units, extract_rate=1e-9, st_rate=1e-3)
+        unit = units[0]
+        assert unit_cost(unit, DN_NAME, stats, None) < \
+            unit_cost(unit, ST_NAME, stats, None)
+
+    def test_ru_without_donor_prices_like_dn_extraction(self, play_setup):
+        _, units, _ = play_setup
+        stats = synthetic_stats(units)
+        unit = units[0]
+        ru = unit_cost(unit, RU_NAME, stats, None)
+        dn = unit_cost(unit, DN_NAME, stats, None)
+        assert ru >= dn * 0.99  # same extraction term, plus O-file read
+
+    def test_f_zero_means_full_extraction(self, play_setup):
+        _, units, _ = play_setup
+        stats = synthetic_stats(units, f=0.0)
+        unit = units[0]
+        assert unit_cost(unit, ST_NAME, stats, None) >= \
+            stats.units[unit.uid].extract_rate * 2.0 * stats.m * 300.0
+
+
+class TestDonorResolution:
+    def test_nearest_earlier_st_unit(self, play_setup):
+        _, units, _ = play_setup
+        assignment = PlanAssignment({
+            units[0].uid: ST_NAME, units[1].uid: RU_NAME,
+            units[2].uid: UD_NAME, units[3].uid: RU_NAME})
+        donor = resolve_ru_donor(units[3], units, assignment)
+        assert donor is units[2]
+
+    def test_no_earlier_donor(self, play_setup):
+        _, units, _ = play_setup
+        assignment = PlanAssignment({u.uid: RU_NAME for u in units})
+        assert resolve_ru_donor(units[0], units, assignment) is None
+
+
+class TestPlanCost:
+    def test_sums_units(self, play_setup):
+        _, units, _ = play_setup
+        stats = synthetic_stats(units)
+        assignment = PlanAssignment.all_dn(units)
+        total = plan_cost(units, assignment, stats)
+        parts = sum(unit_cost(u, DN_NAME, stats, None) for u in units)
+        assert total == pytest.approx(parts)
+
+    def test_from_scratch_equals_all_dn(self, play_setup):
+        _, units, _ = play_setup
+        stats = synthetic_stats(units)
+        assert from_scratch_cost(units, stats) == pytest.approx(
+            plan_cost(units, PlanAssignment.all_dn(units), stats))
+
+    def test_rank_plans_sorted(self, play_setup):
+        _, units, _ = play_setup
+        stats = synthetic_stats(units)
+        plans = [PlanAssignment.all_dn(units),
+                 PlanAssignment.uniform(units, ST_NAME)]
+        ranked = rank_plans(units, plans, stats)
+        assert ranked[0].cost <= ranked[1].cost
+
+
+class TestSearch:
+    def test_expensive_extraction_prefers_matching(self, play_setup):
+        _, units, chains = play_setup
+        stats = synthetic_stats(units, extract_rate=1e-3)
+        result = search_plan(units, stats, chains)
+        used = set(result.assignment.matchers.values())
+        assert used & {ST_NAME, UD_NAME}, "should pick a real matcher"
+
+    def test_cheap_extraction_prefers_dn(self, play_setup):
+        _, units, chains = play_setup
+        stats = synthetic_stats(units, extract_rate=1e-9,
+                                st_rate=1e-3, ud_rate=1e-3)
+        result = search_plan(units, stats, chains)
+        assert set(result.assignment.matchers.values()) == {DN_NAME}
+
+    def test_at_most_one_expensive_matcher_per_chain(self, play_setup):
+        _, units, chains = play_setup
+        stats = synthetic_stats(units, extract_rate=1e-3)
+        result = search_plan(units, stats, chains)
+        for chain in chains:
+            expensive = [u for u in chain.units
+                         if result.assignment.matchers[u.uid]
+                         in (ST_NAME, UD_NAME)]
+            assert len(expensive) <= 1
+
+    def test_cross_chain_ru_considered(self, play_setup):
+        _, units, chains = play_setup
+        # Make matching very expensive but extraction dominate: the
+        # second chain should recycle the first chain's matcher via RU.
+        stats = synthetic_stats(units, extract_rate=5e-4, st_rate=5e-5,
+                                ud_rate=5e-5)
+        result = search_plan(units, stats, chains)
+        matchers = result.assignment.matchers
+        expensive_total = [uid for uid, m in matchers.items()
+                           if m in (ST_NAME, UD_NAME)]
+        assert len(expensive_total) <= 2
+        assert result.estimated_cost > 0
+
+    def test_assignment_covers_all_units(self, play_setup):
+        _, units, chains = play_setup
+        stats = synthetic_stats(units)
+        result = search_plan(units, stats, chains)
+        assert set(result.assignment.matchers) == {u.uid for u in units}
+
+
+class TestEnumeration:
+    def test_play_has_256_plans(self, play_setup):
+        _, units, _ = play_setup
+        assert count_assignments(units) == 256
+        assert len(canonical_plans(units)) == 256
+
+    def test_enumeration_unique(self, play_setup):
+        _, units, _ = play_setup
+        seen = {tuple(sorted(a.matchers.items()))
+                for a in enumerate_assignments(units)}
+        assert len(seen) == 256
+
+    def test_too_large_space_rejected(self, play_setup):
+        _, units, _ = play_setup
+        with pytest.raises(ValueError):
+            canonical_plans(units * 3)
+
+
+class TestStatisticsCollection:
+    def test_collects_sane_estimates(self, tmp_path):
+        task = make_task("play", work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        units = find_units(plan)
+        snaps = list(wikipedia_corpus(n_pages=10, seed=3).snapshots(3))
+        # Capture snapshot 1 so recorded regions exist.
+        engine = ReuseEngine(plan, units, PlanAssignment.all_dn(units))
+        cap0 = str(tmp_path / "0")
+        engine.run_snapshot(snaps[1], None, None, cap0)
+        stats = collect_statistics(plan, units, snaps[2], snaps[:2],
+                                   sample_size=5, k_snapshots=2,
+                                   prev_capture_dir=cap0)
+        assert 0.5 <= stats.f <= 1.0
+        assert stats.m == len(snaps[2])
+        for u in units:
+            est = stats.units[u.uid]
+            assert est.a > 0
+            assert est.l > 0
+            assert 0.0 <= est.g.get("ST", 1.0) <= 1.0
+            assert 0.0 <= est.g_ru.get("ST", 1.0) <= 1.0
+
+    def test_requires_history(self):
+        task = make_task("play", work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        units = find_units(plan)
+        snaps = list(wikipedia_corpus(n_pages=4, seed=3).snapshots(1))
+        with pytest.raises(ValueError):
+            collect_statistics(plan, units, snaps[0], [])
+
+    def test_no_shared_pages_degrades_gracefully(self):
+        from repro.corpus.snapshot import snapshot_from_texts
+        task = make_task("play", work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        units = find_units(plan)
+        s0 = snapshot_from_texts(0, {"a": "x"})
+        s1 = snapshot_from_texts(1, {"b": "y"})
+        stats = collect_statistics(plan, units, s1, [s0], sample_size=5)
+        assert stats.f == 0.0
+        assert stats.sample_pages == 0

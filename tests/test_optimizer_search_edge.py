@@ -1,0 +1,95 @@
+"""Edge cases of Algorithm 1 and the statistics machinery."""
+
+import pytest
+
+from repro.extractors import make_task
+from repro.matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME
+from repro.optimizer.search import _chain_plans, search_plan
+from repro.optimizer.stats import collect_statistics
+from repro.plan import compile_program, find_units, partition_chains
+
+from tests.test_optimizer import synthetic_stats
+
+
+@pytest.fixture(scope="module")
+def single_unit_setup():
+    task = make_task("talk", work_scale=0)
+    plan = compile_program(task.program, task.registry)
+    units = find_units(plan)
+    return plan, units, partition_chains(units)
+
+
+@pytest.fixture(scope="module")
+def award_setup():
+    task = make_task("award", work_scale=0)
+    plan = compile_program(task.program, task.registry)
+    units = find_units(plan)
+    return plan, units, partition_chains(units)
+
+
+class TestChainPlanFamily:
+    def test_single_unit_chain_has_three_plans(self, single_unit_setup):
+        _, _, chains = single_unit_setup
+        plans = _chain_plans(chains[0])
+        # all-DN, ST@1, UD@1
+        assert len(plans) == 3
+        flavors = {tuple(sorted(set(p.values()))) for p in plans}
+        assert (DN_NAME,) in flavors
+
+    def test_family_size_is_2k_plus_1(self, award_setup):
+        _, _, chains = award_setup
+        for chain in chains:
+            assert len(_chain_plans(chain)) == 2 * len(chain) + 1
+
+    def test_ru_only_above_expensive(self, award_setup):
+        _, _, chains = award_setup
+        chain = max(chains, key=len)
+        for plan in _chain_plans(chain):
+            saw_expensive = False
+            # chain.units is top-down: walk bottom-up.
+            for unit in reversed(chain.units):
+                name = plan[unit.uid]
+                if name in (ST_NAME, UD_NAME):
+                    saw_expensive = True
+                elif name == RU_NAME:
+                    assert saw_expensive, "RU below the expensive matcher"
+
+
+class TestSearchEdgeCases:
+    def test_single_unit_program(self, single_unit_setup):
+        _, units, chains = single_unit_setup
+        stats = synthetic_stats(units, extract_rate=1e-3)
+        result = search_plan(units, stats, chains)
+        assert len(result.assignment.matchers) == 1
+
+    def test_six_unit_program_covers_everything(self, award_setup):
+        _, units, chains = award_setup
+        stats = synthetic_stats(units, extract_rate=1e-4)
+        result = search_plan(units, stats, chains)
+        assert set(result.assignment.matchers) == {u.uid for u in units}
+        assert result.considered >= sum(2 * len(c) + 1 for c in chains)
+
+    def test_zero_f_prefers_dn(self, award_setup):
+        """Nothing shared with the previous snapshot: matching can't
+        help, so the search must settle on from-scratch plans."""
+        _, units, chains = award_setup
+        stats = synthetic_stats(units, extract_rate=1e-3, f=0.0)
+        result = search_plan(units, stats, chains)
+        # With f=0 every plan costs the same extraction; DN is among
+        # the cheapest because it skips matcher I/O terms.
+        assert result.estimated_cost > 0
+
+
+class TestStatisticsFallback:
+    def test_without_capture_profiles_previous_pages(self):
+        from repro.corpus import wikipedia_corpus
+
+        task = make_task("play", work_scale=0)
+        plan = compile_program(task.program, task.registry)
+        units = find_units(plan)
+        snaps = list(wikipedia_corpus(n_pages=6, seed=5).snapshots(2))
+        stats = collect_statistics(plan, units, snaps[1], [snaps[0]],
+                                   sample_size=4)
+        for est in stats.units.values():
+            assert est.a >= 0
+            assert est.a_prev >= 0

@@ -1,0 +1,292 @@
+"""Plan operators, compiler, CSE, unit identification, chains."""
+
+import pytest
+
+from repro.extractors.rules import RegexExtractor, SectionExtractor
+from repro.plan.compile import CompileError, compile_program
+from repro.plan.operators import (
+    IENode,
+    JoinNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    dedupe_rows,
+    evaluate_plain,
+    hash_join,
+)
+from repro.plan.units import find_units, partition_chains, producer_unit
+from repro.text.span import Span
+from repro.xlog.parser import parse_program
+from repro.xlog.registry import Registry
+
+
+def build_registry():
+    reg = Registry()
+    reg.register_extractor(RegexExtractor(
+        "extractName", r"(?P<v>[A-Z][a-z]+ [A-Z][a-z]+)",
+        groups={"v": "v"}, scope=40, context=2))
+    reg.register_extractor(RegexExtractor(
+        "extractYear", r"(?P<v>\d{4})", groups={"v": "v"},
+        scope=10, context=2))
+    reg.register_extractor(SectionExtractor(
+        "extractBody", "v", "Body", scope=500, context=32))
+    reg.register_extractor(RegexExtractor(
+        "extractAmount", r"\$(?P<v>\d+)(?P<t>M)",
+        groups={"t": "t"},
+        scalars={"v": lambda m: int(m.group("v"))},
+        scope=15, context=2))
+    return reg
+
+
+def compile_src(src):
+    reg = build_registry()
+    return compile_program(parse_program(src), reg)
+
+
+PAGE = ("intro Alice Chen in 1999\n"
+        "== Body ==\n"
+        "Karen Xu spent $120M in 2001\n")
+
+
+def run(plan, text=PAGE):
+    memo = {}
+    return {rel: evaluate_plain(plan.roots[rel], text, "d0", memo)
+            for rel in plan.program.head_relations()}
+
+
+class TestOperators:
+    def test_hash_join_on_shared(self):
+        left = [{"a": 1, "b": 2}, {"a": 2, "b": 3}]
+        right = [{"a": 1, "c": 9}]
+        got = hash_join(left, right, ["a"])
+        assert got == [{"a": 1, "b": 2, "c": 9}]
+
+    def test_hash_join_cartesian(self):
+        got = hash_join([{"a": 1}], [{"b": 2}, {"b": 3}], [])
+        assert len(got) == 2
+
+    def test_dedupe_rows(self):
+        rows = [{"a": 1}, {"a": 1}, {"a": 2}]
+        assert dedupe_rows(rows) == [{"a": 1}, {"a": 2}]
+
+    def test_signature_stable_and_distinct(self):
+        scan = ScanNode("d")
+        assert scan.signature == ScanNode("d").signature
+        assert scan.signature != ScanNode("x").signature
+
+    def test_project_rejects_missing_source(self):
+        with pytest.raises(ValueError):
+            ProjectNode(ScanNode("d"), [("out", "missing")])
+
+
+class TestEvaluation:
+    def test_simple_extraction(self):
+        plan = compile_src("names(v) :- docs(d), extractName(d, v).")
+        rows = run(plan)["names"]
+        texts = {PAGE[r["v"].start:r["v"].end] for r in rows}
+        assert texts == {"Alice Chen", "Karen Xu"}
+
+    def test_chained_extraction_restricted_to_section(self):
+        plan = compile_src(
+            "names(v) :- docs(d), extractBody(d, b), extractName(b, v).")
+        rows = run(plan)["names"]
+        texts = {PAGE[r["v"].start:r["v"].end] for r in rows}
+        assert texts == {"Karen Xu"}
+
+    def test_select_pushed_and_applied(self):
+        plan = compile_src(
+            "rich(t) :- docs(d), extractAmount(d, t, v), atLeast(v, 100).")
+        assert len(run(plan)["rich"]) == 1
+        assert len(run(plan, "just $50M here\n")["rich"]) == 0
+
+    def test_join_of_two_branches(self):
+        plan = compile_src(
+            "pairs(n, y) :- docs(d), extractName(d, n), extractYear(d, y), "
+            "before(n, y).")
+        rows = run(plan)["pairs"]
+        pairs = {(PAGE[r["n"].start:r["n"].end],
+                  PAGE[r["y"].start:r["y"].end]) for r in rows}
+        assert ("Alice Chen", "1999") in pairs
+        assert ("Karen Xu", "1999") not in pairs  # 1999 is before Karen
+
+    def test_derived_relation_inlined(self):
+        plan = compile_src("""
+            names(v) :- docs(d), extractName(d, v).
+            out(x) :- names(x).
+        """)
+        assert len(run(plan)["out"]) == 2
+
+    def test_projection_dedupes(self):
+        plan = compile_src(
+            "years(y) :- docs(d), extractYear(d, y).")
+        rows = run(plan, "1999 and 1999 again\n")["years"]
+        assert len(rows) == 2  # distinct positions -> distinct spans
+
+    def test_scan_binds_whole_page(self):
+        node = ScanNode("d")
+        rows = evaluate_plain(node, "hello", "d7", {})
+        assert rows == [{"d": Span("d7", 0, 5)}]
+
+
+class TestCSE:
+    def test_shared_subplan_across_rules(self):
+        plan = compile_src("""
+            a(v) :- docs(d), extractBody(d, b), extractName(b, v).
+            b2(v) :- docs(d), extractBody(d, b), extractYear(b, v).
+        """)
+        nodes = plan.all_nodes()
+        body_nodes = [n for n in nodes if isinstance(n, IENode)
+                      and n.extractor.name == "extractBody"]
+        assert len(body_nodes) == 1  # shared, not duplicated
+
+    def test_shared_node_has_two_parents(self):
+        plan = compile_src("""
+            a(v) :- docs(d), extractBody(d, b), extractName(b, v).
+            b2(v) :- docs(d), extractBody(d, b), extractYear(b, v).
+        """)
+        parents = plan.parents()
+        body = [n for n in plan.all_nodes() if isinstance(n, IENode)
+                and n.extractor.name == "extractBody"][0]
+        assert len(parents[id(body)]) == 2
+
+
+class TestUnits:
+    def test_sigma_on_outputs_absorbed(self):
+        plan = compile_src(
+            "rich(t) :- docs(d), extractAmount(d, t, v), atLeast(v, 100).")
+        units = find_units(plan)
+        assert len(units) == 1
+        kinds = [type(n).__name__ for n in units[0].absorbed]
+        assert "SelectNode" in kinds
+        assert "ProjectNode" in kinds  # head keeps only t (a span field)
+
+    def test_sigma_on_two_branches_not_absorbed(self):
+        plan = compile_src(
+            "pairs(n, y) :- docs(d), extractName(d, n), extractYear(d, y), "
+            "before(n, y).")
+        units = find_units(plan)
+        for unit in units:
+            assert not any(isinstance(n, SelectNode) for n in unit.absorbed)
+
+    def test_head_pi_with_passthrough_not_absorbed(self):
+        # Head keeps d's extraction AND the upper output: π not within
+        # one unit's fields, so it must stay outside.
+        plan = compile_src(
+            "out(b, v) :- docs(d), extractBody(d, b), extractName(b, v).")
+        units = find_units(plan)
+        name_unit = [u for u in units
+                     if u.extractor.name == "extractName"][0]
+        assert not name_unit.projects_away_input
+
+    def test_unit_alpha_beta_transfer(self, play_units):
+        for unit in play_units:
+            assert unit.alpha == unit.extractor.scope
+            assert unit.beta == unit.extractor.context
+
+    def test_shared_unit_not_absorbed_through_multi_parent(self):
+        plan = compile_src("""
+            a(v) :- docs(d), extractBody(d, b), extractName(b, v).
+            b2(v) :- docs(d), extractBody(d, b), extractYear(b, v).
+        """)
+        units = find_units(plan)
+        body_unit = [u for u in units
+                     if u.extractor.name == "extractBody"][0]
+        assert body_unit.absorbed == ()
+
+    def test_uids_unique(self, play_units):
+        uids = [u.uid for u in play_units]
+        assert len(set(uids)) == len(uids)
+
+
+class TestChains:
+    def test_single_chain(self):
+        plan = compile_src(
+            "names(v) :- docs(d), extractBody(d, b), extractName(b, v).")
+        units = find_units(plan)
+        chains = partition_chains(units)
+        assert len(chains) == 1
+        assert [u.extractor.name for u in chains[0].units] == [
+            "extractName", "extractBody"]
+
+    def test_fanout_chains(self):
+        plan = compile_src(
+            "out(n, y) :- docs(d), extractBody(d, b), extractName(b, n), "
+            "extractYear(b, y).")
+        units = find_units(plan)
+        chains = partition_chains(units)
+        assert len(chains) == 2
+        assert len(chains[0]) + len(chains[1]) == 3
+        # First consumer in plan order continues the producer's chain.
+        long_chain = max(chains, key=len)
+        assert long_chain.bottom.extractor.name == "extractBody"
+
+    def test_producer_unit(self):
+        plan = compile_src(
+            "names(v) :- docs(d), extractBody(d, b), extractName(b, v).")
+        units = find_units(plan)
+        name_unit = [u for u in units
+                     if u.extractor.name == "extractName"][0]
+        body_unit = [u for u in units
+                     if u.extractor.name == "extractBody"][0]
+        assert producer_unit(name_unit, units) is body_unit
+        assert producer_unit(body_unit, units) is None
+
+    def test_every_unit_in_exactly_one_chain(self, play_units):
+        chains = partition_chains(play_units)
+        seen = [u.uid for c in chains for u in c.units]
+        assert sorted(seen) == sorted(u.uid for u in play_units)
+
+
+class TestUnion:
+    SRC = """
+        found(v) :- docs(d), extractName(d, v).
+        found(v) :- docs(d), extractYear(d, v).
+    """
+
+    def test_union_combines_rules(self):
+        plan = compile_src(self.SRC)
+        rows = run(plan)["found"]
+        texts = {PAGE[r["v"].start:r["v"].end] for r in rows}
+        assert texts == {"Alice Chen", "Karen Xu", "1999", "2001"}
+
+    def test_union_schema_mismatch_rejected(self):
+        from repro.plan.operators import UnionNode
+        with pytest.raises(ValueError):
+            UnionNode([ScanNode("a"), ScanNode("b")])
+
+    def test_union_dedupes(self):
+        plan = compile_src("""
+            found(v) :- docs(d), extractName(d, v).
+            found(v) :- docs(d), extractName(d, v), before(v, v).
+        """)
+        # The second rule is a subset of the first; union must dedupe.
+        rows = run(plan)["found"]
+        keys = [tuple(sorted(r.items())) for r in rows]
+        assert len(keys) == len(set(keys))
+
+    def test_union_usable_as_derived_relation(self):
+        plan = compile_src(self.SRC + """
+            out(x) :- found(x).
+        """)
+        assert len(run(plan)["out"]) == len(run(plan)["found"])
+
+    def test_union_with_reuse_engine(self, tmp_path):
+        import os
+
+        from repro.core.noreuse import NoReuseSystem
+        from repro.core.runner import canonical_results
+        from repro.corpus.snapshot import snapshot_from_texts
+        from repro.plan.units import find_units
+        from repro.reuse.engine import PlanAssignment, ReuseEngine
+
+        plan = compile_src(self.SRC)
+        units = find_units(plan)
+        engine = ReuseEngine(plan, units,
+                             PlanAssignment.uniform(units, "UD"))
+        s0 = snapshot_from_texts(0, {"u": PAGE})
+        s1 = snapshot_from_texts(1, {"u": PAGE.replace("1999", "1987")})
+        d0, d1 = str(tmp_path / "0"), str(tmp_path / "1")
+        engine.run_snapshot(s0, None, None, d0)
+        r1 = engine.run_snapshot(s1, s0, d0, d1)
+        expected = NoReuseSystem(plan).process(s1)
+        assert canonical_results(r1) == canonical_results(expected)

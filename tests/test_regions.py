@@ -1,0 +1,96 @@
+"""MatchSegment and disjoint-selection tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.regions import MatchSegment, select_p_disjoint
+from repro.text.span import Interval
+
+
+class TestMatchSegment:
+    def test_intervals_and_shift(self):
+        seg = MatchSegment(10, 4, 6)
+        assert seg.p_interval == Interval(10, 16)
+        assert seg.q_interval == Interval(4, 10)
+        assert seg.shift == 6
+
+    def test_verify(self):
+        p = "xxhello worldxx"
+        q = "hello world"
+        seg = MatchSegment(2, 0, 11)
+        assert seg.verify(p, q)
+        assert not MatchSegment(0, 0, 5).verify(p, q)
+
+    def test_trim_to_p(self):
+        seg = MatchSegment(10, 0, 10)
+        trimmed = seg.trim_to_p(Interval(12, 16))
+        assert trimmed == MatchSegment(12, 2, 4)
+
+    def test_trim_to_p_disjoint(self):
+        assert MatchSegment(0, 0, 5).trim_to_p(Interval(10, 20)) is None
+
+    def test_trim_to_q(self):
+        seg = MatchSegment(10, 0, 10)
+        trimmed = seg.trim_to_q(Interval(3, 7))
+        assert trimmed == MatchSegment(13, 3, 4)
+
+    def test_trims_keep_correspondence(self):
+        p = "aaaa0123456789bbbb"
+        q = "0123456789"
+        seg = MatchSegment(4, 0, 10)
+        t = seg.trim_to_p(Interval(6, 12)).trim_to_q(Interval(3, 8))
+        assert t.verify(p, q)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            MatchSegment(0, 0, -1)
+
+
+segments = st.builds(
+    MatchSegment,
+    st.integers(0, 200), st.integers(0, 200), st.integers(0, 60))
+
+
+class TestSelectPDisjoint:
+    def test_keeps_disjoint(self):
+        segs = [MatchSegment(0, 0, 5), MatchSegment(10, 10, 5)]
+        assert select_p_disjoint(segs) == segs
+
+    def test_prefers_long(self):
+        segs = [MatchSegment(0, 0, 3), MatchSegment(1, 10, 20)]
+        got = select_p_disjoint(segs)
+        assert got[0].p_start == 1 or any(s.length == 20 for s in got)
+
+    def test_trims_overlaps(self):
+        segs = [MatchSegment(0, 0, 10), MatchSegment(5, 50, 10)]
+        got = select_p_disjoint(segs)
+        # All results disjoint on the p side.
+        for a, b in zip(got, got[1:]):
+            assert a.p_start + a.length <= b.p_start
+
+    def test_drops_empty(self):
+        assert select_p_disjoint([MatchSegment(0, 0, 0)]) == []
+
+    @given(st.lists(segments, max_size=15))
+    def test_result_p_disjoint_and_sorted(self, segs):
+        got = select_p_disjoint(segs)
+        for a, b in zip(got, got[1:]):
+            assert a.p_start + a.length <= b.p_start
+
+    @given(st.lists(segments, max_size=15))
+    def test_results_are_subsegments(self, segs):
+        got = select_p_disjoint(segs)
+        for out in got:
+            assert any(
+                s.p_start <= out.p_start
+                and out.p_start + out.length <= s.p_start + s.length
+                and out.p_start - s.p_start == out.q_start - s.q_start
+                for s in segs)
+
+    @given(st.lists(segments, max_size=15))
+    def test_shift_preserved(self, segs):
+        """Trimmed pieces keep their source's p/q correspondence."""
+        shifts = {s.shift for s in segs}
+        for out in select_p_disjoint(segs):
+            assert out.shift in shifts

@@ -1,0 +1,146 @@
+"""Page-matching scope: same-URL and fingerprint-based pairing."""
+
+import pytest
+
+from repro.core.noreuse import NoReuseSystem
+from repro.core.runner import canonical_results
+from repro.corpus.snapshot import Snapshot, snapshot_from_texts
+from repro.extractors import make_task
+from repro.plan import compile_program, find_units
+from repro.reuse import (
+    FingerprintScope,
+    PlanAssignment,
+    ReuseEngine,
+    SameUrlScope,
+    shingle_sketch,
+    sketch_similarity,
+)
+from repro.text.document import Page
+
+
+class TestSketch:
+    def test_identical_texts_similarity_one(self):
+        text = "the quick brown fox jumps over the lazy dog" * 4
+        a = shingle_sketch(text)
+        assert sketch_similarity(a, a) == 1.0
+
+    def test_disjoint_texts_similarity_zero(self):
+        a = shingle_sketch("aaaaaaaaaaaaaaaaaaaaaaaaaaaaa aaaa aaaa")
+        b = shingle_sketch("zzzzzzzzzzzzzzzzzzzzzzzzzzzzz zzzz zzzz")
+        assert sketch_similarity(a, b) == 0.0
+
+    def test_small_edit_high_similarity(self):
+        base = " ".join(f"line number {i} with content" for i in range(30))
+        edited = base.replace("number 7", "number 777")
+        sim = sketch_similarity(shingle_sketch(base),
+                                shingle_sketch(edited))
+        assert sim > 0.7
+
+    def test_short_text(self):
+        assert shingle_sketch("") == ()
+        assert len(shingle_sketch("hi")) == 1
+
+
+class TestSameUrlScope:
+    def test_pairs_by_url(self):
+        prev = snapshot_from_texts(0, {"a": "xxx", "b": "yyy"})
+        scope = SameUrlScope()
+        scope.begin_snapshot(prev)
+        assert scope.pair_for(Page.from_url("a", "zzz")).text == "xxx"
+        assert scope.pair_for(Page.from_url("new", "zzz")) is None
+
+    def test_no_previous_snapshot(self):
+        scope = SameUrlScope()
+        scope.begin_snapshot(None)
+        assert scope.pair_for(Page.from_url("a", "x")) is None
+
+
+PAGE_TEXT = ("header line\n"
+             "== Body ==\n" +
+             "\n".join(f"Ana likes tea number {i}." for i in range(12)) +
+             "\n")
+
+
+class TestFingerprintScope:
+    def test_renamed_page_paired(self):
+        prev = snapshot_from_texts(0, {"old-url": PAGE_TEXT,
+                                       "other": "something else entirely"})
+        scope = FingerprintScope(min_similarity=0.5)
+        scope.begin_snapshot(prev)
+        got = scope.pair_for(Page.from_url("new-url", PAGE_TEXT))
+        assert got is not None and got.url == "old-url"
+        assert scope.fallback_pairs == 1
+
+    def test_dissimilar_page_not_paired(self):
+        prev = snapshot_from_texts(0, {"old-url": PAGE_TEXT})
+        scope = FingerprintScope(min_similarity=0.5)
+        scope.begin_snapshot(prev)
+        assert scope.pair_for(
+            Page.from_url("new", "completely different words here")) is None
+
+    def test_previous_page_claimed_once(self):
+        prev = snapshot_from_texts(0, {"old-url": PAGE_TEXT})
+        scope = FingerprintScope(min_similarity=0.5)
+        scope.begin_snapshot(prev)
+        first = scope.pair_for(Page.from_url("n1", PAGE_TEXT))
+        second = scope.pair_for(Page.from_url("n2", PAGE_TEXT))
+        assert first is not None
+        assert second is None
+
+    def test_same_url_still_preferred(self):
+        prev = snapshot_from_texts(0, {"u": PAGE_TEXT})
+        scope = FingerprintScope()
+        scope.begin_snapshot(prev)
+        got = scope.pair_for(Page.from_url("u", PAGE_TEXT + "extra"))
+        assert got.url == "u"
+        assert scope.fallback_pairs == 0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            FingerprintScope(min_similarity=0.0)
+
+
+def make_play_engine(scope):
+    task = make_task("play", work_scale=0)
+    plan = compile_program(task.program, task.registry)
+    units = find_units(plan)
+    assignment = PlanAssignment({
+        units[0].uid: "UD", **{u.uid: "RU" for u in units[1:]}})
+    return plan, ReuseEngine(plan, units, assignment, scope=scope)
+
+
+ACTOR_PAGE = ("Nina Weber is a film actor.\n"
+              "== Filmography ==\n"
+              "Nina Weber starred as Dr. Malone in Crimson Harbor (1999).\n"
+              "Nina Weber starred as Sister Agnes in Velvet Empire (2003).\n"
+              "== Awards ==\n"
+              "Nina Weber won the BAFTA Award for Velvet Empire (2004).\n")
+
+
+class TestEngineWithFingerprintScope:
+    def test_renamed_page_reuses_and_stays_correct(self, tmp_path):
+        s0 = snapshot_from_texts(0, {"site/nina-weber": ACTOR_PAGE})
+        # The page moves to a new URL with a tiny edit.
+        s1 = snapshot_from_texts(1, {
+            "site/people/nina-weber": ACTOR_PAGE.replace("(1999)", "(1998)")})
+
+        plan, engine = make_play_engine(FingerprintScope())
+        d0, d1 = str(tmp_path / "0"), str(tmp_path / "1")
+        engine.run_snapshot(s0, None, None, d0)
+        result = engine.run_snapshot(s1, s0, d0, d1)
+
+        copied = sum(s.copied_tuples for s in result.unit_stats.values())
+        assert copied > 0, "renamed page should still recycle results"
+        expected = NoReuseSystem(plan).process(s1)
+        assert canonical_results(result) == canonical_results(expected)
+
+    def test_same_url_scope_gets_no_reuse_on_rename(self, tmp_path):
+        s0 = snapshot_from_texts(0, {"site/nina-weber": ACTOR_PAGE})
+        s1 = snapshot_from_texts(1, {"site/people/nina-weber": ACTOR_PAGE})
+
+        plan, engine = make_play_engine(SameUrlScope())
+        d0, d1 = str(tmp_path / "0"), str(tmp_path / "1")
+        engine.run_snapshot(s0, None, None, d0)
+        result = engine.run_snapshot(s1, s0, d0, d1)
+        assert all(s.copied_tuples == 0
+                   for s in result.unit_stats.values())

@@ -1,0 +1,178 @@
+"""Interval/Span algebra tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.span import (
+    Interval,
+    Span,
+    complement_intervals,
+    intersect_interval_sets,
+    merge_intervals,
+    total_length,
+)
+
+intervals = st.builds(
+    lambda a, b: Interval(min(a, b), max(a, b)),
+    st.integers(0, 500), st.integers(0, 500))
+
+interval_lists = st.lists(intervals, max_size=12)
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(3, 8)
+        assert len(iv) == 5
+        assert iv.length == 5
+        assert not iv.is_empty()
+        assert Interval(4, 4).is_empty()
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 3)
+
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert Interval(0, 10).contains(Interval(0, 10))
+        assert not Interval(0, 10).contains(Interval(2, 11))
+
+    def test_contains_point_is_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains_point(2)
+        assert iv.contains_point(4)
+        assert not iv.contains_point(5)
+
+    def test_overlaps_excludes_touching(self):
+        assert Interval(0, 5).overlaps(Interval(4, 8))
+        assert not Interval(0, 5).overlaps(Interval(5, 8))
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 5).intersect(Interval(5, 8)) is None
+        assert Interval(0, 5).intersect(Interval(7, 8)) is None
+
+    def test_shift(self):
+        assert Interval(2, 5).shift(3) == Interval(5, 8)
+
+    def test_expand_clamps_left(self):
+        assert Interval(2, 5).expand(4) == Interval(0, 9)
+        assert Interval(2, 5).expand(1, 2) == Interval(1, 7)
+
+    def test_clip(self):
+        assert Interval(0, 10).clip(Interval(3, 6)) == Interval(3, 6)
+        assert Interval(0, 2).clip(Interval(5, 6)) is None
+
+    @given(intervals, intervals)
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals, intervals)
+    def test_intersect_contained(self, a, b):
+        got = a.intersect(b)
+        if got is not None:
+            assert a.contains(got) and b.contains(got)
+
+
+class TestMergeIntervals:
+    def test_merges_overlapping(self):
+        got = merge_intervals([Interval(0, 5), Interval(3, 8)])
+        assert got == [Interval(0, 8)]
+
+    def test_merges_touching(self):
+        got = merge_intervals([Interval(0, 5), Interval(5, 8)])
+        assert got == [Interval(0, 8)]
+
+    def test_keeps_disjoint(self):
+        got = merge_intervals([Interval(6, 8), Interval(0, 5)])
+        assert got == [Interval(0, 5), Interval(6, 8)]
+
+    def test_drops_empty(self):
+        assert merge_intervals([Interval(3, 3)]) == []
+
+    @given(interval_lists)
+    def test_result_sorted_disjoint(self, ivs):
+        merged = merge_intervals(ivs)
+        for a, b in zip(merged, merged[1:]):
+            assert a.end < b.start
+
+    @given(interval_lists)
+    def test_preserves_coverage(self, ivs):
+        merged = merge_intervals(ivs)
+        points = {p for iv in ivs for p in range(iv.start, iv.end)}
+        merged_points = {p for iv in merged
+                         for p in range(iv.start, iv.end)}
+        assert points == merged_points
+
+
+class TestComplement:
+    def test_basic(self):
+        got = complement_intervals([Interval(2, 4)], Interval(0, 10))
+        assert got == [Interval(0, 2), Interval(4, 10)]
+
+    def test_full_cover(self):
+        assert complement_intervals([Interval(0, 10)],
+                                    Interval(0, 10)) == []
+
+    def test_empty_input(self):
+        assert complement_intervals([], Interval(3, 7)) == [Interval(3, 7)]
+
+    def test_clips_outside(self):
+        got = complement_intervals([Interval(0, 100)], Interval(10, 20))
+        assert got == []
+
+    @given(interval_lists, intervals)
+    def test_partition_property(self, ivs, within):
+        gaps = complement_intervals(ivs, within)
+        covered = {p for iv in merge_intervals(ivs)
+                   for p in range(iv.start, iv.end)}
+        gap_points = {p for g in gaps for p in range(g.start, g.end)}
+        within_points = set(range(within.start, within.end))
+        assert gap_points == within_points - covered
+
+
+class TestIntersectSets:
+    def test_basic(self):
+        got = intersect_interval_sets([Interval(0, 10)],
+                                      [Interval(5, 15), Interval(20, 25)])
+        assert got == [Interval(5, 10)]
+
+    @given(interval_lists, interval_lists)
+    def test_pointwise(self, left, right):
+        got = intersect_interval_sets(left, right)
+        lp = {p for iv in left for p in range(iv.start, iv.end)}
+        rp = {p for iv in right for p in range(iv.start, iv.end)}
+        gp = {p for iv in got for p in range(iv.start, iv.end)}
+        assert gp == (lp & rp)
+
+
+class TestTotalLength:
+    def test_counts_overlap_once(self):
+        assert total_length([Interval(0, 5), Interval(3, 8)]) == 8
+
+
+class TestSpan:
+    def test_text_of(self):
+        span = Span("doc", 4, 9)
+        assert span.text_of("the quick brown") == "quick"
+
+    def test_shift_and_reanchor(self):
+        span = Span("a", 2, 5)
+        assert span.shift(3) == Span("a", 5, 8)
+        assert span.shift(0, did="b") == Span("b", 2, 5)
+
+    def test_contains_requires_same_doc(self):
+        assert Span("a", 0, 10).contains(Span("a", 2, 5))
+        assert not Span("a", 0, 10).contains(Span("b", 2, 5))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Span("a", 5, 3)
+
+    def test_interval_view(self):
+        assert Span("a", 1, 4).interval == Interval(1, 4)
+        assert len(Span("a", 1, 4)) == 3

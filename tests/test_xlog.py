@@ -1,0 +1,211 @@
+"""xlog parser, AST, registry, and validation tests."""
+
+import pytest
+
+from repro.extractors.rules import RegexExtractor
+from repro.xlog.ast import Atom, Var
+from repro.xlog.parser import XlogSyntaxError, parse_program, parse_rule
+from repro.xlog.registry import EvalContext, Registry
+from repro.xlog.validation import XlogValidationError, validate_program
+from repro.text.span import Span
+
+
+def name_extractor():
+    return RegexExtractor("extractName", r"(?P<v>[A-Z][a-z]+)",
+                          groups={"v": "v"}, scope=30, context=2)
+
+
+def title_extractor():
+    return RegexExtractor("extractTitle", r'"(?P<t>[^"]+)"',
+                          groups={"t": "t"}, scope=80, context=2)
+
+
+@pytest.fixture
+def registry():
+    reg = Registry()
+    reg.register_extractor(name_extractor())
+    reg.register_extractor(title_extractor())
+    return reg
+
+
+class TestParser:
+    def test_single_rule(self):
+        rule = parse_rule("out(x) :- docs(d), extractName(d, x).")
+        assert rule.head.pred == "out"
+        assert [a.pred for a in rule.body] == ["docs", "extractName"]
+        assert rule.head.args == (Var("x"),)
+
+    def test_literals(self):
+        rule = parse_rule(
+            'out(x) :- docs(d), extractName(d, x), atLeast(x, 100), '
+            'containsPhrase(x, "relevance feedback").')
+        assert rule.body[2].args[1] == 100
+        assert rule.body[3].args[1] == "relevance feedback"
+
+    def test_float_and_negative(self):
+        rule = parse_rule("out(x) :- docs(d), f(x, -1.5).")
+        assert rule.body[1].args[1] == -1.5
+
+    def test_comments_and_whitespace(self):
+        program = parse_program("""
+            % rule one
+            a(x) :- docs(d), extractName(d, x).
+            # rule two
+            b(x) :- docs(d), extractTitle(d, x).
+        """)
+        assert len(program.rules) == 2
+        assert program.head_relations() == ["a", "b"]
+
+    def test_multiline_rule(self):
+        rule = parse_rule("""out(x, y) :- docs(d),
+            extractName(d, x),
+            extractTitle(d, y).""")
+        assert len(rule.body) == 3
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(XlogSyntaxError) as err:
+            parse_program("a(x) :- docs(d)\nb(y) :- docs(d).")
+        assert "line" in str(err.value)
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(XlogSyntaxError):
+            parse_program("   % nothing here\n")
+
+    def test_rejects_trailing_garbage_in_rule(self):
+        with pytest.raises(XlogSyntaxError):
+            parse_rule("a(x) :- docs(d). extra")
+
+    def test_rejects_unknown_character(self):
+        with pytest.raises(XlogSyntaxError):
+            parse_program("a(x) :- docs(d) & b(x).")
+
+    def test_roundtrip_str(self):
+        text = 'talks(t) :- docs(d), extractTitle(d, t).'
+        rule = parse_rule(text)
+        assert parse_rule(str(rule)) == rule
+
+
+class TestRegistry:
+    def test_kind_of(self, registry):
+        assert registry.kind_of("docs") == "docs"
+        assert registry.kind_of("extractName") == "ie"
+        assert registry.kind_of("immBefore") == "function"
+        assert registry.kind_of("nonsense") is None
+
+    def test_rejects_duplicate_registration(self, registry):
+        with pytest.raises(ValueError):
+            registry.register_extractor(name_extractor())
+        with pytest.raises(ValueError):
+            registry.register_function("extractName", lambda ctx: True, 1)
+
+    def test_builtin_imm_before(self):
+        ctx = EvalContext("hello  world", "d")
+        from repro.xlog.registry import imm_before
+        assert imm_before(ctx, Span("d", 0, 5), Span("d", 7, 12))
+        assert not imm_before(ctx, Span("d", 7, 12), Span("d", 0, 5))
+
+    def test_builtin_imm_before_rejects_text_between(self):
+        ctx = EvalContext("hello X world", "d")
+        from repro.xlog.registry import imm_before
+        assert not imm_before(ctx, Span("d", 0, 5), Span("d", 8, 13))
+
+    def test_builtin_within_chars(self):
+        from repro.xlog.registry import within_chars
+        ctx = EvalContext("x" * 50, "d")
+        assert within_chars(ctx, Span("d", 0, 5), Span("d", 10, 15), 20)
+        assert not within_chars(ctx, Span("d", 0, 5), Span("d", 40, 45), 20)
+
+    def test_builtin_contains_phrase(self):
+        from repro.xlog.registry import contains_phrase
+        ctx = EvalContext("About Relevance Feedback methods", "d")
+        assert contains_phrase(ctx, Span("d", 0, 33), "relevance feedback")
+        assert not contains_phrase(ctx, Span("d", 0, 5), "feedback")
+
+    def test_builtin_gross_over(self):
+        from repro.xlog.registry import gross_over
+        ctx = EvalContext("It grossed $120 million worldwide.", "d")
+        assert gross_over(ctx, Span("d", 0, 34), 100)
+        assert not gross_over(ctx, Span("d", 0, 34), 200)
+
+    def test_builtin_at_least(self):
+        from repro.xlog.registry import at_least
+        assert at_least(None, 120, 100)
+        assert not at_least(None, 80, 100)
+
+    def test_builtin_all_caps(self):
+        from repro.xlog.registry import all_caps
+        ctx = EvalContext("HELLO world", "d")
+        assert all_caps(ctx, Span("d", 0, 5))
+        assert not all_caps(ctx, Span("d", 6, 11))
+
+    def test_builtin_year_after(self):
+        from repro.xlog.registry import year_after
+        ctx = EvalContext("released in 1994.", "d")
+        assert year_after(ctx, Span("d", 0, 17), 1990)
+        assert not year_after(ctx, Span("d", 0, 17), 2000)
+
+
+class TestValidation:
+    def check(self, source, registry):
+        validate_program(parse_program(source), registry)
+
+    def test_valid_program(self, registry):
+        self.check("out(x) :- docs(d), extractName(d, x).", registry)
+
+    def test_unknown_predicate(self, registry):
+        with pytest.raises(XlogValidationError, match="unknown"):
+            self.check("out(x) :- docs(d), mystery(d, x).", registry)
+
+    def test_unbound_ie_input(self, registry):
+        with pytest.raises(XlogValidationError, match="not bound"):
+            self.check("out(x) :- extractName(d, x), docs(d).", registry)
+
+    def test_wrong_ie_arity(self, registry):
+        with pytest.raises(XlogValidationError, match="argument"):
+            self.check("out(x) :- docs(d), extractName(d, x, y).", registry)
+
+    def test_rebinding_ie_output(self, registry):
+        with pytest.raises(XlogValidationError, match="already bound"):
+            self.check(
+                "out(x) :- docs(d), extractName(d, x), extractTitle(d, x).",
+                registry)
+
+    def test_unbound_function_arg(self, registry):
+        with pytest.raises(XlogValidationError, match="not bound"):
+            self.check("out(x) :- docs(d), extractName(d, x), "
+                       "immBefore(x, y).", registry)
+
+    def test_wrong_function_arity(self, registry):
+        with pytest.raises(XlogValidationError, match="takes"):
+            self.check("out(x) :- docs(d), extractName(d, x), "
+                       "immBefore(x).", registry)
+
+    def test_unsafe_head(self, registry):
+        with pytest.raises(XlogValidationError, match="head variables"):
+            self.check("out(x, z) :- docs(d), extractName(d, x).", registry)
+
+    def test_recursion_rejected(self, registry):
+        with pytest.raises(XlogValidationError):
+            self.check("out(x) :- out(x), docs(d).", registry)
+
+    def test_docs_arity(self, registry):
+        with pytest.raises(XlogValidationError, match="docs"):
+            self.check("out(d) :- docs(d, e).", registry)
+
+    def test_head_shadowing_builtin(self, registry):
+        with pytest.raises(XlogValidationError, match="shadows"):
+            self.check("immBefore(x, x) :- docs(d), extractName(d, x).",
+                       registry)
+
+    def test_rule_chaining_allowed(self, registry):
+        self.check("""
+            names(x) :- docs(d), extractName(d, x).
+            out(x) :- names(x).
+        """, registry)
+
+    def test_chained_arity_mismatch(self, registry):
+        with pytest.raises(XlogValidationError, match="arity"):
+            self.check("""
+                names(x) :- docs(d), extractName(d, x).
+                out(x) :- names(x, y).
+            """, registry)
