@@ -9,6 +9,8 @@ not the authors' absolute testbed numbers. Scale knobs:
 * ``REPRO_BENCH_PAGES_WIKI`` (default 40)
 * ``REPRO_BENCH_SNAPSHOTS`` (default 5)
 * ``REPRO_BENCH_WORK_SCALE`` (default 1.0)
+* ``REPRO_BENCH_JOBS`` (default 1) — execution-runtime workers; results
+  are backend-independent, only the wall clock changes
 
 Rendered result tables are written to ``benchmarks/results/*.txt`` so
 they survive pytest's stdout capture; EXPERIMENTS.md records them.
@@ -31,6 +33,7 @@ PAGES_DBLIFE = int(os.environ.get("REPRO_BENCH_PAGES_DBLIFE", "60"))
 PAGES_WIKI = int(os.environ.get("REPRO_BENCH_PAGES_WIKI", "40"))
 N_SNAPSHOTS = int(os.environ.get("REPRO_BENCH_SNAPSHOTS", "5"))
 WORK_SCALE = float(os.environ.get("REPRO_BENCH_WORK_SCALE", "1.0"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 TASK_SEEDS = {"talk": 101, "chair": 102, "advise": 103,
               "blockbuster": 104, "play": 105, "award": 106,
@@ -85,7 +88,7 @@ class Fig10Cache:
         if task_name not in self._cache:
             task = make_task(task_name, work_scale=WORK_SCALE)
             snaps = corpus_snapshots(task_name, task.corpus)
-            reports = run_series(task, snaps)
+            reports = run_series(task, snaps, jobs=BENCH_JOBS)
             problems = verify_agreement(reports)
             assert not problems, problems[:3]
             self._cache[task_name] = reports
@@ -95,6 +98,12 @@ class Fig10Cache:
 @pytest.fixture(scope="session")
 def fig10_cache() -> Fig10Cache:
     return Fig10Cache()
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Execution-runtime worker count (``REPRO_BENCH_JOBS``)."""
+    return BENCH_JOBS
 
 
 def delex_vs(reports: Dict[str, SeriesReport], other: str,

@@ -1,0 +1,129 @@
+"""Execution-runtime scaling (extension).
+
+Page-level IE is embarrassingly parallel, so fanning page batches out
+over workers should cut wall time close to linearly while — by the
+runtime's determinism contract — changing nothing about the results.
+This benchmark measures pages/sec for the serial backend vs a
+4-worker run (auto backend: the heavy emulated blackboxes select the
+process pool) for No-reuse and Delex on a synthetic DBLife corpus,
+and emits a machine-readable ``BENCH_runtime.json`` at the repo root.
+
+Skipped on machines with fewer than 4 CPUs: there is no parallel
+speedup to measure there.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from conftest import save_table
+
+from repro.core.runner import (
+    canonical_results,
+    make_system,
+    resolve_executor,
+)
+from repro.corpus import dblife_corpus
+from repro.extractors import make_task
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_runtime.json")
+
+TASK = "chair"           # DBLife task with the heaviest blackboxes
+PAGES = int(os.environ.get("REPRO_BENCH_RUNTIME_PAGES", "24"))
+N_SNAPSHOTS = 3
+WORK_SCALE = float(os.environ.get("REPRO_BENCH_RUNTIME_WORK", "1.0"))
+JOBS = 4
+
+NOREUSE_MIN_SPEEDUP = 1.5
+
+
+def _measure(task, snapshots, system_name, jobs, workdir):
+    """Total seconds, pages/sec, and canonical results for one series."""
+    executor = resolve_executor(task, jobs=jobs)
+    system = make_system(system_name, task, workdir, executor=executor)
+    seconds = 0.0
+    pages = 0
+    outputs = []
+    prev = None
+    for snapshot in snapshots:
+        result = system.process(snapshot, prev)
+        seconds += result.timings.total
+        pages += result.pages
+        outputs.append(canonical_results(result))
+        prev = snapshot
+    backend = executor.name if executor is not None else "serial"
+    return {
+        "backend": backend,
+        "jobs": jobs,
+        "seconds": seconds,
+        "pages": pages,
+        "pages_per_second": pages / seconds if seconds > 0 else 0.0,
+    }, outputs
+
+
+def run_runtime_scaling():
+    task = make_task(TASK, work_scale=WORK_SCALE)
+    snapshots = list(dblife_corpus(n_pages=PAGES, seed=71,
+                                   p_unchanged=0.7).snapshots(N_SNAPSHOTS))
+    data = {
+        "task": TASK,
+        "pages": PAGES,
+        "snapshots": N_SNAPSHOTS,
+        "work_scale": WORK_SCALE,
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "systems": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp_root:
+        for name in ("noreuse", "delex"):
+            serial, serial_out = _measure(
+                task, snapshots, name, 1,
+                os.path.join(tmp_root, f"{name}_serial"))
+            parallel, parallel_out = _measure(
+                task, snapshots, name, JOBS,
+                os.path.join(tmp_root, f"{name}_par"))
+            assert serial_out == parallel_out, \
+                f"{name}: parallel run changed the results"
+            data["systems"][name] = {
+                "serial": serial,
+                "parallel": parallel,
+                "speedup": (serial["seconds"] / parallel["seconds"]
+                            if parallel["seconds"] > 0 else 0.0),
+            }
+    return data
+
+
+def _render(data):
+    lines = [f"Runtime scaling ('{data['task']}', {data['pages']} pages, "
+             f"{data['snapshots']} snapshots, jobs={data['jobs']})",
+             f"{'system':<9}{'serial p/s':>12}{'jobs4 p/s':>12}"
+             f"{'speedup':>9}{'backend':>9}"]
+    for name, row in data["systems"].items():
+        lines.append(
+            f"{name:<9}{row['serial']['pages_per_second']:>12.1f}"
+            f"{row['parallel']['pages_per_second']:>12.1f}"
+            f"{row['speedup']:>9.2f}{row['parallel']['backend']:>9}")
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < JOBS,
+                    reason=f"needs >= {JOBS} CPUs for a speedup to exist")
+def test_runtime_scaling(benchmark):
+    data = benchmark.pedantic(run_runtime_scaling, rounds=1, iterations=1)
+    with open(BENCH_JSON, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    save_table("runtime_scaling.txt", _render(data))
+
+    noreuse = data["systems"]["noreuse"]
+    assert noreuse["parallel"]["backend"] == "process"
+    # From-scratch extraction is embarrassingly parallel: 4 workers
+    # must buy at least 1.5x on the dominant extraction cost.
+    assert noreuse["speedup"] >= NOREUSE_MIN_SPEEDUP, \
+        f"noreuse speedup {noreuse['speedup']:.2f} < {NOREUSE_MIN_SPEEDUP}"
+    # Delex parallelizes too (weaker bound: its per-snapshot work is
+    # mostly reuse bookkeeping, which is cheaper than extraction).
+    assert data["systems"]["delex"]["speedup"] > 0.0

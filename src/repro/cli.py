@@ -75,22 +75,34 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    store = CorpusStore(args.store)
-    snapshots = list(store)
-    if len(snapshots) < 2:
-        print("error: need at least 2 snapshots (use the corpus "
-              "subcommand first)", file=sys.stderr)
-        return 2
     systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
     unknown = [s for s in systems if s not in SYSTEM_NAMES]
     if unknown:
         print(f"error: unknown systems {unknown}; choose from "
               f"{SYSTEM_NAMES}", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     task = make_task(args.task, work_scale=args.work_scale)
+    if args.store is not None:
+        store = CorpusStore(args.store)
+        snapshots = list(store)
+        if len(snapshots) < 2:
+            print("error: need at least 2 snapshots (use the corpus "
+                  "subcommand first)", file=sys.stderr)
+            return 2
+    else:
+        # Demo mode: a small generated corpus matching the task.
+        factory = (dblife_corpus if task.corpus == "dblife"
+                   else wikipedia_corpus)
+        snapshots = list(factory(n_pages=12, seed=0).snapshots(3))
+        print("no --store given: using a generated 12-page, "
+              "3-snapshot demo corpus\n")
     with tempfile.TemporaryDirectory() as workdir:
         reports = run_series(task, snapshots, systems=systems,
-                             workdir=workdir)
+                             workdir=workdir, jobs=args.jobs,
+                             backend=args.backend)
     problems = verify_agreement(reports) if "noreuse" in systems else []
     print(f"task {task.name} over {len(snapshots)} snapshots "
           f"({len(snapshots[0])} pages each)\n")
@@ -107,6 +119,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         decomp = reports[s].mean_decomposition()
         inner = "  ".join(f"{k}={v:.3f}" for k, v in decomp.items())
         print(f"  {s:<9} {inner}")
+    if args.jobs > 1:
+        print("\nruntime:")
+        for s in systems:
+            runtime = reports[s].snapshots[-1].timings.runtime
+            print(f"  {s:<9} "
+                  f"{runtime.describe() if runtime else 'serial'}")
     if "noreuse" in systems:
         print("\nresult agreement:",
               "OK" if not problems else f"MISMATCH {problems[:3]}")
@@ -162,13 +180,33 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--store", required=True,
                         help="directory for the corpus store")
 
-    run = sub.add_parser("run", help="run systems over a stored corpus")
+    run = sub.add_parser(
+        "run", help="run systems over a stored corpus",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  repro run --task play --store /tmp/corpus "
+               "--systems noreuse,delex\n"
+               "  repro run --task play --systems noreuse,delex "
+               "--jobs 4\n"
+               "      (no --store: small generated demo corpus; "
+               "--jobs 4 fans page\n"
+               "       batches out over 4 workers — results are "
+               "identical to --jobs 1)")
     run.add_argument("--task", required=True, choices=ALL_TASKS)
-    run.add_argument("--store", required=True)
+    run.add_argument("--store",
+                     help="corpus store directory (omit for a small "
+                          "generated demo corpus)")
     run.add_argument("--systems", default="noreuse,delex",
                      help="comma-separated subset of "
                           f"{','.join(SYSTEM_NAMES)}")
     run.add_argument("--work-scale", type=float, default=1.0)
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker count for the execution runtime "
+                          "(default 1 = serial)")
+    run.add_argument("--backend", default="auto",
+                     choices=("auto", "serial", "thread", "process"),
+                     help="executor backend; auto picks by blackbox "
+                          "cost (default auto)")
 
     report = sub.add_parser("report",
                             help="print all rendered benchmark tables")

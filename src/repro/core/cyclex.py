@@ -11,6 +11,13 @@ Because tight program-level α/β are hard to obtain for multi-blackbox
 programs (Section 3), the α_prog of the section-based tasks is page
 scale — extraction regions blow up to nearly the whole page whenever
 anything changed, which is precisely why Delex wins on those tasks.
+
+Like the other systems, the page loop is routed through
+:mod:`repro.runtime`: the parent reads the previous result files
+sequentially in canonical page order, per-page match/copy/extract work
+fans out across the executor's workers, and the parent records the new
+result files in canonical order so they stay byte-identical to a
+serial run.
 """
 
 from __future__ import annotations
@@ -32,6 +39,9 @@ from ..reuse.files import (
     encode_fields,
 )
 from ..reuse.regions import dedupe_extensions, derive_reuse, extraction_keep
+from ..runtime.executor import Executor, SerialExecutor
+from ..runtime.metrics import build_metrics
+from ..runtime.scheduler import PageScheduler
 from ..text.document import Page
 from ..text.regions import MatchSegment
 from ..text.span import Interval, Span
@@ -39,6 +49,91 @@ from ..timing import COPY, IO, MATCH, OPT, Timer, Timings
 from .noreuse import run_page_plain
 
 _PROGRAM_ITID = 0
+
+#: Worker state: everything a batch needs besides its pages.
+_CyclexState = Tuple[CompiledPlan, int, int, str]
+
+#: One page's work item: ("fresh", page) re-extracts from scratch;
+#: ("pair", page, q_page, prev_rows) recycles from the old version.
+_WorkItem = Tuple
+
+
+def _run_region(plan: CompiledPlan, page: Page, er: Interval,
+                timer: Timer) -> Dict[str, list]:
+    """Run the whole program over one extraction region."""
+    sub_page = Page(did=page.did, url=page.url,
+                    text=page.text[er.start:er.end])
+    sub_rows = run_page_plain(plan, sub_page, timer)
+    shifted: Dict[str, list] = {}
+    for rel, rows in sub_rows.items():
+        shifted[rel] = [_shift_row(row, er.start) for row in rows]
+    return shifted
+
+
+def _process_pair(plan: CompiledPlan, alpha: int, beta: int, matcher,
+                  page: Page, q_page: Page,
+                  prev_rows: Dict[str, List[OutputTuple]],
+                  timer: Timer) -> Dict[str, list]:
+    """Match/copy/extract one changed page against its old version."""
+    with timer.measure(MATCH):
+        segments = [
+            MatchSegment(s.p_start, s.q_start, s.length, _PROGRAM_ITID)
+            for s in matcher.match(page.text, page.whole,
+                                   q_page.text, q_page.whole)
+        ]
+    q_input = {_PROGRAM_ITID: InputTuple(_PROGRAM_ITID, q_page.did, 0,
+                                         len(q_page.text))}
+    # Shared extraction regions (program-level α/β).
+    with timer.measure(COPY):
+        derivation = derive_reuse(
+            page.whole, page.did, segments, q_input,
+            {}, alpha, beta)
+    extraction_rows: Dict[str, list] = {rel: [] for rel in prev_rows}
+    for er in derivation.extraction_regions:
+        sub_rows = _run_region(plan, page, er, timer)
+        for rel, rows in sub_rows.items():
+            for row in rows:
+                extent = _row_extent(row)
+                if extraction_keep(extent, er, page.whole, beta):
+                    extraction_rows.setdefault(rel, []).append(row)
+    page_rows: Dict[str, list] = {}
+    for rel in plan.program.head_relations():
+        with timer.measure(COPY):
+            copy_derivation = derive_reuse(
+                page.whole, page.did, segments, q_input,
+                {_PROGRAM_ITID: prev_rows.get(rel, [])},
+                alpha, beta)
+            page_rows[rel] = dedupe_extensions(
+                copy_derivation.copied + extraction_rows.get(rel, []))
+    return page_rows
+
+
+def _cyclex_batch_worker(state: _CyclexState,
+                         payload: Tuple[_WorkItem, ...]
+                         ) -> Tuple[List[Dict[str, list]],
+                                    Dict[str, float]]:
+    """Process one batch of page work items (runs in any executor).
+
+    A fresh matcher and match cache per batch is results-identical to
+    the serial single-matcher run: Cyclex never assigns RU, so the
+    cache is write-only.
+    """
+    plan, alpha, beta, matcher_name = state
+    timings = Timings()
+    timer = Timer(timings)
+    matcher = make_matcher(
+        matcher_name, MatchCache(),
+        min_length=max(8, min(2 * beta + 2, 32)))
+    out: List[Dict[str, list]] = []
+    for item in payload:
+        if item[0] == "fresh":
+            _, page = item
+            out.append(run_page_plain(plan, page, timer))
+        else:
+            _, page, q_page, prev_rows = item
+            out.append(_process_pair(plan, alpha, beta, matcher,
+                                     page, q_page, prev_rows, timer))
+    return out, timings.parts
 
 
 class CyclexSystem:
@@ -48,12 +143,16 @@ class CyclexSystem:
 
     def __init__(self, plan: CompiledPlan, workdir: str,
                  program_alpha: int, program_beta: int,
-                 probe_pages: int = 6) -> None:
+                 probe_pages: int = 6,
+                 executor: Optional[Executor] = None,
+                 scheduler: Optional[PageScheduler] = None) -> None:
         self.plan = plan
         self.workdir = workdir
         self.alpha = program_alpha
         self.beta = program_beta
         self.probe_pages = probe_pages
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.scheduler = scheduler if scheduler is not None else PageScheduler()
         os.makedirs(workdir, exist_ok=True)
         self._prev_dir: Optional[str] = None
         self._snapshot_serial = 0
@@ -73,12 +172,12 @@ class CyclexSystem:
         Extraction rate is estimated from one from-scratch page run.
         """
         with timer.measure(OPT):
-            # Sample shared pages in page order so the probe sees the
-            # corpus's real identical/changed mix (a changed-only
-            # sample would never credit a matcher for cheap full-page
-            # copies on identical pages).
+            # Sample shared pages in canonical page order so the probe
+            # sees the corpus's real identical/changed mix (a
+            # changed-only sample would never credit a matcher for
+            # cheap full-page copies on identical pages).
             pairs: List[Tuple[Page, Page]] = []
-            for page in snapshot:
+            for page in snapshot.canonical_pages():
                 old = prev_snapshot.get(page.url)
                 if old is not None:
                     pairs.append((page, old))
@@ -139,9 +238,11 @@ class CyclexSystem:
                 if os.path.exists(path):
                     readers[rel] = ReuseFileReader(path)
         results: Dict[str, list] = {rel: [] for rel in relations}
-        ordered = (snapshot.ordered_like(prev_snapshot)
-                   if prev_snapshot is not None else snapshot)
+        pages = snapshot.canonical_pages()
         pages_with_prev = 0
+        wall_seconds = 0.0
+        batches: list = []
+        timed: List[Tuple[float, object]] = []
         try:
             with timer.measure_total():
                 matcher_name = DN_NAME
@@ -149,34 +250,60 @@ class CyclexSystem:
                     matcher_name = self._choose_matcher(snapshot,
                                                         prev_snapshot, timer)
                 self.last_matcher = matcher_name
-                matcher = make_matcher(
-                    matcher_name, MatchCache(),
-                    min_length=max(8, min(2 * self.beta + 2, 32)))
-                for page in ordered:
+                # Phase 1 (parent, canonical order): pair pages with
+                # their previous versions and stream the previous
+                # result files sequentially.
+                work: Dict[str, _WorkItem] = {}
+                for page in pages:
                     q_page = (prev_snapshot.get(page.url)
                               if prev_snapshot is not None else None)
                     if q_page is not None:
                         pages_with_prev += 1
-                    for rel in relations:
-                        writers[rel].begin_page(page.did)
                     if q_page is None or not readers \
                             or matcher_name == DN_NAME:
                         if q_page is not None:
                             self._skip_groups(readers, page.did, timer)
-                        page_rows = run_page_plain(self.plan, page, timer)
-                        self._emit(page, page_rows, writers, results, timer)
+                        work[page.did] = ("fresh", page)
                         continue
-                    self._process_pair(page, q_page, matcher, readers,
-                                       writers, results, timer)
+                    prev_rows: Dict[str, List[OutputTuple]] = {}
+                    for rel, reader in readers.items():
+                        with timer.measure(IO):
+                            prev_rows[rel] = reader.read_page_outputs(
+                                page.did)
+                    work[page.did] = ("pair", page, q_page, prev_rows)
+                # Phase 2: per-page match/copy/extract on the runtime.
+                batches = self.scheduler.plan(pages, self.executor.jobs)
+                payloads = [tuple(work[p.did] for p in batch.pages)
+                            for batch in batches]
+                state: _CyclexState = (self.plan, self.alpha, self.beta,
+                                       matcher_name)
+                wall_start = time.perf_counter()
+                timed = self.executor.map_batches(_cyclex_batch_worker,
+                                                  state, payloads)
+                wall_seconds = time.perf_counter() - wall_start
+                rows_by_did: Dict[str, Dict[str, list]] = {}
+                for batch, (_, (batch_rows, parts)) in zip(batches, timed):
+                    for page, page_rows in zip(batch.pages, batch_rows):
+                        rows_by_did[page.did] = page_rows
+                    for category, seconds in parts.items():
+                        timings.add(category, seconds)
+                # Phase 3 (parent, canonical order): record the new
+                # result files byte-identically to a serial run.
+                for page in pages:
+                    self._emit(page, rows_by_did[page.did], writers,
+                               results, timer)
         finally:
             for writer in writers.values():
                 writer.close()
             for reader in readers.values():
                 reader.close()
+        timings.runtime = build_metrics(
+            self.executor.name, self.executor.jobs, wall_seconds,
+            batches, [s for s, _ in timed])
         self._prev_dir = out_dir
         self._snapshot_serial += 1
         return SnapshotRunResult(results=results, timings=timings,
-                                 pages=len(ordered),
+                                 pages=len(pages),
                                  pages_with_previous=pages_with_prev)
 
     def _skip_groups(self, readers: Dict[str, ReuseFileReader],
@@ -189,65 +316,12 @@ class CyclexSystem:
               writers: Dict[str, ReuseFileWriter],
               results: Dict[str, list], timer: Timer) -> None:
         for rel, rows in page_rows.items():
+            writers[rel].begin_page(page.did)
             with timer.measure(IO):
                 for row in rows:
                     writers[rel].append_output(page.did, _PROGRAM_ITID,
                                                encode_fields(row))
             results[rel].extend(materialize_rows(rows, page.text))
-
-    def _process_pair(self, page: Page, q_page: Page, matcher,
-                      readers: Dict[str, ReuseFileReader],
-                      writers: Dict[str, ReuseFileWriter],
-                      results: Dict[str, list], timer: Timer) -> None:
-        with timer.measure(MATCH):
-            segments = [
-                MatchSegment(s.p_start, s.q_start, s.length, _PROGRAM_ITID)
-                for s in matcher.match(page.text, page.whole,
-                                       q_page.text, q_page.whole)
-            ]
-        q_input = {_PROGRAM_ITID: InputTuple(_PROGRAM_ITID, q_page.did, 0,
-                                             len(q_page.text))}
-        prev_rows: Dict[str, List[OutputTuple]] = {}
-        for rel, reader in readers.items():
-            with timer.measure(IO):
-                prev_rows[rel] = reader.read_page_outputs(page.did)
-        # Shared extraction regions (program-level α/β).
-        with timer.measure(COPY):
-            derivation = derive_reuse(
-                page.whole, page.did, segments, q_input,
-                {}, self.alpha, self.beta)
-        extraction_rows: Dict[str, list] = {rel: [] for rel in readers}
-        for er in derivation.extraction_regions:
-            sub_rows = self._run_region(page, er, timer)
-            for rel, rows in sub_rows.items():
-                for row in rows:
-                    extent = _row_extent(row)
-                    if extraction_keep(extent, er, page.whole, self.beta):
-                        extraction_rows.setdefault(rel, []).append(row)
-        for rel in self.plan.program.head_relations():
-            with timer.measure(COPY):
-                copy_derivation = derive_reuse(
-                    page.whole, page.did, segments, q_input,
-                    {_PROGRAM_ITID: prev_rows.get(rel, [])},
-                    self.alpha, self.beta)
-                rows = dedupe_extensions(
-                    copy_derivation.copied + extraction_rows.get(rel, []))
-            with timer.measure(IO):
-                for row in rows:
-                    writers[rel].append_output(page.did, _PROGRAM_ITID,
-                                               encode_fields(row))
-            results[rel].extend(materialize_rows(rows, page.text))
-
-    def _run_region(self, page: Page, er: Interval,
-                    timer: Timer) -> Dict[str, list]:
-        """Run the whole program over one extraction region."""
-        sub_page = Page(did=page.did, url=page.url,
-                        text=page.text[er.start:er.end])
-        sub_rows = run_page_plain(self.plan, sub_page, timer)
-        shifted: Dict[str, list] = {}
-        for rel, rows in sub_rows.items():
-            shifted[rel] = [_shift_row(row, er.start) for row in rows]
-        return shifted
 
 
 def _shift_row(row: dict, delta: int) -> dict:

@@ -26,6 +26,8 @@ from ..plan.compile import CompiledPlan, compile_program
 from ..plan.units import IEChain, IEUnit, find_units, partition_chains
 from ..reuse.engine import PlanAssignment, ReuseEngine, SnapshotRunResult
 from ..reuse.scope import PageMatchScope
+from ..runtime.executor import Executor
+from ..runtime.scheduler import PageScheduler
 from ..timing import OPT, Timer, Timings
 
 
@@ -38,9 +40,13 @@ class DelexSystem:
                  sample_size: int = 8, k_snapshots: int = 3,
                  fixed_assignment: Optional[PlanAssignment] = None,
                  capture_history: int = 2,
-                 scope: Optional["PageMatchScope"] = None) -> None:
+                 scope: Optional["PageMatchScope"] = None,
+                 executor: Optional[Executor] = None,
+                 scheduler: Optional[PageScheduler] = None) -> None:
         self.task = task
         self.workdir = workdir
+        self.executor = executor
+        self.scheduler = scheduler
         os.makedirs(workdir, exist_ok=True)
         self.plan: CompiledPlan = compile_program(task.program,
                                                   task.registry)
@@ -120,7 +126,8 @@ class DelexSystem:
                     assignment = self.last_search.assignment
         self.last_assignment = assignment
         engine = ReuseEngine(self.plan, self.units, assignment,
-                             scope=self.scope)
+                             scope=self.scope, executor=self.executor,
+                             scheduler=self.scheduler)
         out_dir = self._out_dir()
         result = engine.run_snapshot(
             snapshot,

@@ -3,11 +3,18 @@
 This is what the paper calls the common solution today — apply IE to
 every snapshot in isolation. It pays full extraction cost every time
 and writes no capture files.
+
+Pages are processed in canonical order (sorted by page id) and the
+page loop is routed through :mod:`repro.runtime`: from-scratch
+extraction is embarrassingly parallel, so an executor with ``jobs>1``
+fans page batches out to workers and merges their results back in
+canonical order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Tuple
 
 from ..corpus.snapshot import Snapshot
 from ..plan.compile import CompiledPlan
@@ -24,6 +31,9 @@ from ..plan.operators import (
     hash_join,
 )
 from ..reuse.engine import SnapshotRunResult, materialize_rows
+from ..runtime.executor import Executor, SerialExecutor
+from ..runtime.metrics import build_metrics
+from ..runtime.scheduler import PageBatch, PageScheduler
 from ..text.document import Page
 from ..text.span import Span
 from ..timing import EXTRACT, Timer, Timings
@@ -55,7 +65,8 @@ def evaluate_timed(node: Node, page: Page, timer: Timer,
                 if node.passes(r, ctx)]
     elif isinstance(node, ProjectNode):
         rows = dedupe_rows([node.apply(r) for r in
-                            evaluate_timed(node.child, page, timer, memo)])
+                            evaluate_timed(node.child, page, timer,
+                                           memo)])
     elif isinstance(node, JoinNode):
         rows = hash_join(evaluate_timed(node.left, page, timer, memo),
                          evaluate_timed(node.right, page, timer, memo),
@@ -77,13 +88,32 @@ def run_page_plain(plan: CompiledPlan, page: Page,
             for rel in plan.program.head_relations()}
 
 
+def _noreuse_batch_worker(plan: CompiledPlan, batch: PageBatch
+                          ) -> Tuple[Dict[str, List[Tuple]],
+                                     Dict[str, float]]:
+    """Extract one page batch from scratch (runs in any executor)."""
+    timings = Timings()
+    timer = Timer(timings)
+    rel_rows: Dict[str, List[Tuple]] = {
+        rel: [] for rel in plan.program.head_relations()}
+    for page in batch:
+        page_rows = run_page_plain(plan, page, timer)
+        for rel, rows in page_rows.items():
+            rel_rows[rel].extend(materialize_rows(rows, page.text))
+    return rel_rows, timings.parts
+
+
 class NoReuseSystem:
     """Applies the program from scratch to each snapshot."""
 
     name = "noreuse"
 
-    def __init__(self, plan: CompiledPlan) -> None:
+    def __init__(self, plan: CompiledPlan,
+                 executor: Optional[Executor] = None,
+                 scheduler: Optional[PageScheduler] = None) -> None:
         self.plan = plan
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.scheduler = scheduler if scheduler is not None else PageScheduler()
 
     def process(self, snapshot: Snapshot,
                 prev_snapshot: Optional[Snapshot] = None
@@ -93,10 +123,20 @@ class NoReuseSystem:
         timer = Timer(timings)
         results: Dict[str, list] = {
             rel: [] for rel in self.plan.program.head_relations()}
+        pages = snapshot.canonical_pages()
         with timer.measure_total():
-            for page in snapshot:
-                page_rows = run_page_plain(self.plan, page, timer)
-                for rel, rows in page_rows.items():
-                    results[rel].extend(materialize_rows(rows, page.text))
+            batches = self.scheduler.plan(pages, self.executor.jobs)
+            wall_start = time.perf_counter()
+            timed = self.executor.map_batches(_noreuse_batch_worker,
+                                              self.plan, batches)
+            wall_seconds = time.perf_counter() - wall_start
+            for _, (rel_rows, parts) in timed:
+                for rel, rows in rel_rows.items():
+                    results[rel].extend(rows)
+                for category, seconds in parts.items():
+                    timings.add(category, seconds)
+        timings.runtime = build_metrics(
+            self.executor.name, self.executor.jobs, wall_seconds,
+            batches, [s for s, _ in timed])
         return SnapshotRunResult(results=results, timings=timings,
-                                 pages=len(snapshot))
+                                 pages=len(pages))

@@ -17,6 +17,7 @@ from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask, make_task
 from ..plan.compile import compile_program
 from ..reuse.engine import PlanAssignment, SnapshotRunResult
+from ..runtime.executor import Executor, make_executor
 from ..timing import Timings
 from .cyclex import CyclexSystem
 from .delex import DelexSystem
@@ -26,19 +27,55 @@ from .shortcut import ShortcutSystem
 SYSTEM_NAMES = ("noreuse", "shortcut", "cyclex", "delex")
 
 
-def make_system(name: str, task: IETask, workdir: str, **kwargs):
-    """Instantiate one of the four systems for a task."""
+def task_cost_hint(task: IETask) -> float:
+    """The task's heaviest blackbox ``work_factor``.
+
+    Feeds the runtime's auto backend chooser: expensive emulated
+    blackboxes amortize process-pool overhead, cheap ones don't.
+    """
+    return float(max((e.work_factor for e in task.extractors()),
+                     default=0))
+
+
+def resolve_executor(task: IETask, executor: Optional[Executor] = None,
+                     jobs: int = 1, backend: str = "auto"
+                     ) -> Optional[Executor]:
+    """Build the executor a run should use (None means serial).
+
+    An explicit ``executor`` wins; otherwise ``jobs``/``backend`` are
+    handed to :func:`repro.runtime.make_executor` with the task's
+    blackbox cost as the auto-chooser hint.
+    """
+    if executor is not None:
+        return executor
+    if jobs <= 1 and backend in ("auto", "serial"):
+        return None
+    return make_executor(backend, jobs=jobs,
+                         cost_hint=task_cost_hint(task))
+
+
+def make_system(name: str, task: IETask, workdir: str,
+                executor: Optional[Executor] = None, jobs: int = 1,
+                backend: str = "auto", **kwargs):
+    """Instantiate one of the four systems for a task.
+
+    ``executor`` (or ``jobs``/``backend``) selects the execution
+    runtime the system's page loop runs on; the default is serial.
+    """
     plan = compile_program(task.program, task.registry)
+    executor = resolve_executor(task, executor, jobs, backend)
     if name == "noreuse":
-        return NoReuseSystem(plan)
+        return NoReuseSystem(plan, executor=executor)
     if name == "shortcut":
-        return ShortcutSystem(plan, os.path.join(workdir, "shortcut"))
+        return ShortcutSystem(plan, os.path.join(workdir, "shortcut"),
+                              executor=executor)
     if name == "cyclex":
         return CyclexSystem(plan, os.path.join(workdir, "cyclex"),
                             task.program_alpha, task.program_beta,
-                            **kwargs)
+                            executor=executor, **kwargs)
     if name == "delex":
-        return DelexSystem(task, os.path.join(workdir, "delex"), **kwargs)
+        return DelexSystem(task, os.path.join(workdir, "delex"),
+                           executor=executor, **kwargs)
     raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
 
 
@@ -94,21 +131,27 @@ def run_series(task: IETask, snapshots: Sequence[Snapshot],
                workdir: Optional[str] = None,
                keep_results: bool = True,
                system_kwargs: Optional[Dict[str, dict]] = None,
+               executor: Optional[Executor] = None,
+               jobs: int = 1, backend: str = "auto",
                ) -> Dict[str, SeriesReport]:
     """Run the requested systems over consecutive snapshots.
 
     Every system sees the snapshots in the same order; the first
-    snapshot is the bootstrap. Returns one :class:`SeriesReport` per
-    system.
+    snapshot is the bootstrap. ``executor`` (or ``jobs``/``backend``)
+    selects the execution runtime shared by all systems in the run;
+    results are backend-independent by construction. Returns one
+    :class:`SeriesReport` per system.
     """
     own_dir = workdir is None
     workdir = workdir or tempfile.mkdtemp(prefix="repro_run_")
     system_kwargs = system_kwargs or {}
+    executor = resolve_executor(task, executor, jobs, backend)
     reports: Dict[str, SeriesReport] = {}
     try:
         for system_name in systems:
             instance = make_system(system_name, task,
                                    os.path.join(workdir, system_name),
+                                   executor=executor,
                                    **system_kwargs.get(system_name, {}))
             report = SeriesReport(system=system_name, task=task.name)
             prev: Optional[Snapshot] = None
@@ -155,6 +198,36 @@ def verify_agreement(reports: Dict[str, SeriesReport],
                             f"{name} snapshot {snap.snapshot_index} "
                             f"relation {rel}: {len(missing)} missing, "
                             f"{len(extra)} extra")
+    return problems
+
+
+def verify_serial_parallel(task: IETask, snapshots: Sequence[Snapshot],
+                           systems: Sequence[str] = SYSTEM_NAMES,
+                           jobs: int = 2, backend: str = "auto",
+                           system_kwargs: Optional[Dict[str, dict]] = None,
+                           ) -> List[str]:
+    """Theorem 1, runtime edition: serial == parallel, per system.
+
+    Runs every requested system twice over the same snapshots — once
+    serially, once on a ``jobs``-worker executor — and reports any
+    snapshot whose canonical results differ, plus the usual
+    cross-system agreement problems of both runs.
+    """
+    serial = run_series(task, snapshots, systems=systems, jobs=1,
+                        system_kwargs=system_kwargs)
+    parallel = run_series(task, snapshots, systems=systems, jobs=jobs,
+                          backend=backend, system_kwargs=system_kwargs)
+    problems: List[str] = []
+    for name in systems:
+        for s_snap, p_snap in zip(serial[name].snapshots,
+                                  parallel[name].snapshots):
+            if s_snap.results != p_snap.results:
+                problems.append(
+                    f"{name} snapshot {s_snap.snapshot_index}: serial "
+                    f"and parallel (jobs={jobs}, {backend}) results "
+                    "differ")
+    problems.extend(verify_agreement(serial))
+    problems.extend(f"parallel: {p}" for p in verify_agreement(parallel))
     return problems
 
 

@@ -6,20 +6,48 @@ the program runs from scratch on the page. This is the
 reuse-at-page-level strawman of Section 3 — great when the corpus
 barely changes (DBLife), nearly useless when most pages receive edits
 (Wikipedia).
+
+The run is structured in three phases so the changed pages — the only
+ones that need extraction — can fan out across the runtime's workers:
+
+1. *Classify & copy* (parent, canonical page order): hash pages, read
+   previous results sequentially, decode copies for identical pages.
+2. *Extract* (runtime): changed pages are batched by the scheduler and
+   evaluated from scratch on the executor's workers.
+3. *Merge & record* (parent, canonical page order): results are merged
+   back and the per-relation result files are written in the same page
+   order regardless of backend, so the files stay byte-identical to a
+   serial run.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..corpus.snapshot import Snapshot
 from ..plan.compile import CompiledPlan
 from ..reuse.engine import SnapshotRunResult, materialize_rows
 from ..reuse.files import ReuseFileReader, ReuseFileWriter, encode_fields
+from ..runtime.executor import Executor, SerialExecutor
+from ..runtime.metrics import build_metrics
+from ..runtime.scheduler import PageBatch, PageScheduler
 from ..text.span import Span
 from ..timing import COPY, IO, Timer, Timings
 from .noreuse import run_page_plain
+
+
+def _shortcut_batch_worker(plan: CompiledPlan, batch: PageBatch
+                           ) -> Tuple[List[Dict[str, List[dict]]],
+                                      Dict[str, float]]:
+    """Extract one batch of changed pages from scratch."""
+    timings = Timings()
+    timer = Timer(timings)
+    out: List[Dict[str, List[dict]]] = []
+    for page in batch:
+        out.append(run_page_plain(plan, page, timer))
+    return out, timings.parts
 
 
 class ShortcutSystem:
@@ -27,9 +55,13 @@ class ShortcutSystem:
 
     name = "shortcut"
 
-    def __init__(self, plan: CompiledPlan, workdir: str) -> None:
+    def __init__(self, plan: CompiledPlan, workdir: str,
+                 executor: Optional[Executor] = None,
+                 scheduler: Optional[PageScheduler] = None) -> None:
         self.plan = plan
         self.workdir = workdir
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.scheduler = scheduler if scheduler is not None else PageScheduler()
         os.makedirs(workdir, exist_ok=True)
         self._prev_dir: Optional[str] = None
         self._prev_digests: Dict[str, str] = {}
@@ -57,29 +89,33 @@ class ShortcutSystem:
                     readers[rel] = ReuseFileReader(path)
         results: Dict[str, list] = {rel: [] for rel in relations}
         digests: Dict[str, str] = {}
-        ordered = (snapshot.ordered_like(prev_snapshot)
-                   if prev_snapshot is not None else snapshot)
+        pages = snapshot.canonical_pages()
+        wall_seconds = 0.0
+        batches: List[PageBatch] = []
+        timed: List[Tuple[float, object]] = []
         try:
             with timer.measure_total():
-                for page in ordered:
+                # Phase 1: classify pages; copy results for identical
+                # ones from the previous result files (sequential scan).
+                fresh_pages: List = []
+                page_rows_by_did: Dict[str, Dict[str, List[dict]]] = {}
+                for page in pages:
                     digests[page.url] = page.digest
                     identical = (
                         prev_snapshot is not None
                         and self._prev_digests.get(page.url) == page.digest
                         and readers)
-                    for rel in relations:
-                        writers[rel].begin_page(page.did)
                     if identical:
+                        copied: Dict[str, List[dict]] = {}
                         for rel in relations:
                             with timer.measure(IO):
                                 outs = readers[rel].read_page_outputs(
                                     page.did)
                             with timer.measure(COPY):
-                                rows = [_decode_row(o.fields, page.did)
-                                        for o in outs]
-                            self._record(writers[rel], page.did, rows, timer)
-                            results[rel].extend(
-                                materialize_rows(rows, page.text))
+                                copied[rel] = [
+                                    _decode_row(o.fields, page.did)
+                                    for o in outs]
+                        page_rows_by_did[page.did] = copied
                     else:
                         # Keep readers in sync: skip this page's groups.
                         for rel, reader in readers.items():
@@ -87,17 +123,37 @@ class ShortcutSystem:
                                     prev_snapshot.get(page.url) is not None:
                                 with timer.measure(IO):
                                     reader.read_page_outputs(page.did)
-                        page_rows = run_page_plain(self.plan, page, timer)
-                        for rel in relations:
-                            rows = page_rows[rel]
-                            self._record(writers[rel], page.did, rows, timer)
-                            results[rel].extend(
-                                materialize_rows(rows, page.text))
+                        fresh_pages.append(page)
+                # Phase 2: changed pages fan out across the runtime.
+                batches = self.scheduler.plan(fresh_pages,
+                                              self.executor.jobs)
+                wall_start = time.perf_counter()
+                timed = self.executor.map_batches(_shortcut_batch_worker,
+                                                  self.plan, batches)
+                wall_seconds = time.perf_counter() - wall_start
+                for batch, (_, (batch_rows, parts)) in zip(batches, timed):
+                    for page, page_rows in zip(batch, batch_rows):
+                        page_rows_by_did[page.did] = page_rows
+                    for category, seconds in parts.items():
+                        timings.add(category, seconds)
+                # Phase 3: record results in canonical page order so the
+                # result files are byte-identical to a serial run.
+                for page in pages:
+                    page_rows = page_rows_by_did[page.did]
+                    for rel in relations:
+                        writers[rel].begin_page(page.did)
+                        rows = page_rows[rel]
+                        self._record(writers[rel], page.did, rows, timer)
+                        results[rel].extend(
+                            materialize_rows(rows, page.text))
         finally:
             for writer in writers.values():
                 writer.close()
             for reader in readers.values():
                 reader.close()
+        timings.runtime = build_metrics(
+            self.executor.name, self.executor.jobs, wall_seconds,
+            batches, [s for s, _ in timed])
         self._prev_digests = digests
         self._prev_dir = out_dir
         self._snapshot_serial += 1

@@ -54,6 +54,17 @@ class Snapshot:
         self.pages.append(page)
         self._by_url[page.url] = page
 
+    def canonical_pages(self) -> List[Page]:
+        """Pages sorted by page id — the canonical processing order.
+
+        Every system enumerates snapshots in this order (instead of
+        store insertion order), so capture files are written in a
+        stable, OS-independent order: the precondition both for
+        one-pass sequential reuse-file scans across snapshots and for
+        the parallel runtime's deterministic batch merge.
+        """
+        return sorted(self.pages, key=lambda p: p.did)
+
     def ordered_like(self, previous: "Snapshot") -> "Snapshot":
         """Reorder so pages shared with ``previous`` come first, in
         ``previous``'s order; brand-new pages follow.

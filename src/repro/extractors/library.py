@@ -38,7 +38,12 @@ from ..xlog.registry import Registry
 from ..xlog.validation import validate_program
 from .base import Extractor
 from .learning import CRFFieldExtractor, MaxEntSentenceSegmenter
-from .rules import LineExtractor, RegexExtractor, SectionExtractor
+from .rules import (
+    IntGroupScalar,
+    LineExtractor,
+    RegexExtractor,
+    SectionExtractor,
+)
 
 _NAME = r"[A-Z][a-z]+ [A-Z][a-z]+"
 _MOVIE = r"[A-Z][a-z]+ [A-Z][a-z]+"
@@ -170,7 +175,7 @@ def blockbuster_task(work_scale: float = 1.0) -> IETask:
         "extractGrossFact",
         rf'(?P<movie>{_MOVIE}) grossed \$(?P<amount>\d+) million',
         groups={"movie": "movie"},
-        scalars={"amount": lambda m: int(m.group("amount"))},
+        scalars={"amount": IntGroupScalar("amount")},
         scope=80, context=10, work_factor=round(3000 * work_scale))
     source = """
         blockbuster(movie) :- docs(d), extractBoxOfficeSec(d, sec),

@@ -21,6 +21,7 @@ Implementation notes on determinism:
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Pattern, Sequence, Tuple, Union
 
 from .base import Extraction, Extractor, RelSpan
@@ -35,6 +36,22 @@ def scan_overlapping(pattern: Pattern[str], text: str) -> Iterator[re.Match]:
             return
         yield m
         pos = m.start() + 1
+
+
+@dataclass(frozen=True)
+class IntGroupScalar:
+    """Picklable scalar callable: ``int(match.group(group))``.
+
+    Plain lambdas cannot cross process boundaries; the parallel runtime
+    ships extractors to worker processes, so scalar callables used in
+    the task library must be module-level or instances of picklable
+    classes like this one.
+    """
+
+    group: str
+
+    def __call__(self, m: "re.Match") -> int:
+        return int(m.group(self.group))
 
 
 class RegexExtractor(Extractor):

@@ -146,7 +146,7 @@ def _sample_pairs(snapshot: Snapshot, prev: Snapshot,
                   sample_size: int) -> List[Tuple[Page, Page]]:
     """Deterministic spread sample of pages that have a previous
     version (reuse statistics only make sense on those)."""
-    shared = [(p, prev.get(p.url)) for p in snapshot
+    shared = [(p, prev.get(p.url)) for p in snapshot.canonical_pages()
               if prev.get(p.url) is not None]
     if not shared:
         return []

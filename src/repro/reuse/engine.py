@@ -1,8 +1,9 @@
 """The Delex execution engine (Sections 4, 5, 7).
 
-Processes a corpus snapshot one page at a time, in the same page order
-as the previous snapshot, so each unit's reuse files are scanned
-sequentially exactly once. Per IE unit and input region it:
+Processes a corpus snapshot one page at a time, in canonical page
+order (sorted by page id), so each unit's reuse files are written in a
+stable order and scanned sequentially exactly once. Per IE unit and
+input region it:
 
 1. records the input tuple to ``I_U^{n+1}``;
 2. matches the region against the unit's recorded input regions on the
@@ -16,13 +17,22 @@ sequentially exactly once. Per IE unit and input region it:
 
 Every other operator (joins, non-absorbed σ/π) runs as plain
 relational evaluation.
+
+Execution is routed through :mod:`repro.runtime`: the per-page work
+lives in the picklable :class:`PageEvaluator`, and
+:class:`ReuseEngine` drives it either serially (streaming the reuse
+files) or across an executor's workers (pages batched by the
+:class:`~repro.runtime.scheduler.PageScheduler`, per-worker capture
+buffers merged back byte-identically by
+:func:`~repro.runtime.capture.replay_captures`).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..corpus.snapshot import Snapshot
 from ..matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME, MatchCache
@@ -41,6 +51,14 @@ from ..plan.operators import (
     hash_join,
 )
 from ..plan.units import IEUnit, units_by_top
+from ..runtime.capture import (
+    BufferedCaptureSink,
+    DirectCaptureSink,
+    replay_captures,
+)
+from ..runtime.executor import Executor
+from ..runtime.metrics import build_metrics
+from ..runtime.scheduler import PageScheduler
 from ..text.document import Page
 from ..text.regions import MatchSegment
 from ..text.span import Span
@@ -57,6 +75,10 @@ from .files import (
 )
 from .regions import dedupe_extensions, derive_reuse, extraction_keep
 from .scope import PageMatchScope, SameUrlScope
+
+#: Per-unit previous capture handed to the evaluator for one page:
+#: ``uid -> (recorded inputs, outputs grouped by input tid)``.
+PrevCapture = Dict[str, Tuple[List[InputTuple], Dict[int, List[OutputTuple]]]]
 
 
 @dataclass(frozen=True)
@@ -101,6 +123,18 @@ class UnitRunStats:
             return 0.0
         return min(1.0, self.extracted_chars / self.input_chars)
 
+    def merge(self, other: "UnitRunStats") -> None:
+        """Accumulate a worker's counters into this one."""
+        self.input_tuples += other.input_tuples
+        self.input_chars += other.input_chars
+        self.output_tuples += other.output_tuples
+        self.copied_tuples += other.copied_tuples
+        self.matcher_calls += other.matcher_calls
+        self.extracted_chars += other.extracted_chars
+        self.copy_zone_chars += other.copy_zone_chars
+        self.i_blocks += other.i_blocks
+        self.o_blocks += other.o_blocks
+
 
 @dataclass
 class SnapshotRunResult:
@@ -136,116 +170,44 @@ def _safe_filename(uid: str) -> str:
     return "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in uid)
 
 
-class ReuseEngine:
-    """Executes a compiled plan over snapshots with unit-level reuse."""
+class PageEvaluator:
+    """Per-page plan evaluation with unit-level reuse.
+
+    Holds exactly the state one page's evaluation needs — the compiled
+    plan, its IE units, and the matcher assignment — and nothing tied
+    to the driving process (no file handles, no scope, no executor),
+    which is what makes it safe to pickle into process-pool workers.
+    """
 
     def __init__(self, plan: CompiledPlan, units: List[IEUnit],
-                 assignment: PlanAssignment,
-                 scope: Optional[PageMatchScope] = None) -> None:
+                 assignment: PlanAssignment) -> None:
         self.plan = plan
         self.units = units
         self.assignment = assignment
-        self.scope = scope if scope is not None else SameUrlScope()
         self._unit_of_top = units_by_top(units)
-        self._memory_capture: Optional[
-            Dict[str, Tuple[Dict[str, List[InputTuple]],
-                            Dict[str, List[OutputTuple]]]]] = None
-        missing = [u.uid for u in units if u.uid not in assignment.matchers]
-        if missing:
-            raise ValueError(f"assignment missing units {missing}")
-        from ..matchers.registry import make_matcher
-        for uid, name in assignment.matchers.items():
-            # Fail fast on unknown matcher names instead of mid-run.
-            make_matcher(name, MatchCache())
 
-    # -- snapshot-level driver -------------------------------------------
+    # ``units_by_top`` keys on ``id(node)``; raw object ids are stale
+    # after a pickle round-trip, so rebuild the map on unpickle (node
+    # identity between plan and units is preserved within one payload).
+    def __getstate__(self) -> Dict[str, object]:
+        return {"plan": self.plan, "units": self.units,
+                "assignment": self.assignment}
 
-    def run_snapshot(self, snapshot: Snapshot,
-                     prev_snapshot: Optional[Snapshot],
-                     prev_dir: Optional[str], out_dir: str,
-                     timings: Optional[Timings] = None) -> SnapshotRunResult:
-        """Run the plan over ``snapshot``, reusing ``prev_dir`` capture.
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._unit_of_top = units_by_top(self.units)  # type: ignore[arg-type]
 
-        ``prev_snapshot``/``prev_dir`` are None for the bootstrap run.
-        Capture for the *next* snapshot is written under ``out_dir``.
-        """
-        timings = timings if timings is not None else Timings()
-        timer = Timer(timings)
-        os.makedirs(out_dir, exist_ok=True)
-        writers = {
-            u.uid: (ReuseFileWriter(self._file(out_dir, u.uid, "I")),
-                    ReuseFileWriter(self._file(out_dir, u.uid, "O")))
-            for u in self.units
-        }
-        readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]] = {}
-        self._memory_capture = None
-        if prev_dir is not None and prev_snapshot is not None:
-            if self.scope.sequential_safe:
-                for u in self.units:
-                    i_path = self._file(prev_dir, u.uid, "I")
-                    o_path = self._file(prev_dir, u.uid, "O")
-                    if os.path.exists(i_path) and os.path.exists(o_path):
-                        readers[u.uid] = (ReuseFileReader(i_path),
-                                          ReuseFileReader(o_path))
-            else:
-                # Cross-URL pairing breaks the sequential access
-                # pattern; trade memory for random access.
-                self._memory_capture = {}
-                for u in self.units:
-                    i_path = self._file(prev_dir, u.uid, "I")
-                    o_path = self._file(prev_dir, u.uid, "O")
-                    if os.path.exists(i_path) and os.path.exists(o_path):
-                        self._memory_capture[u.uid] = (
-                            load_reuse_file(i_path, "I"),
-                            load_reuse_file(o_path, "O"))
-        stats = {u.uid: UnitRunStats() for u in self.units}
-        results: Dict[str, List[Tuple]] = {
-            rel: [] for rel in self.plan.program.head_relations()}
-        ordered = (snapshot.ordered_like(prev_snapshot)
-                   if prev_snapshot is not None else snapshot)
-        pages_with_prev = 0
-        self.scope.begin_snapshot(prev_snapshot)
-        try:
-            with timer.measure_total():
-                for page in ordered:
-                    q_page = self.scope.pair_for(page)
-                    if q_page is not None:
-                        pages_with_prev += 1
-                    cache = MatchCache()
-                    for uid, (wi, wo) in writers.items():
-                        wi.begin_page(page.did)
-                        wo.begin_page(page.did)
-                    page_rows = self._run_page(page, q_page, readers,
-                                               writers, cache, stats, timer)
-                    for rel, rows in page_rows.items():
-                        results[rel].extend(
-                            materialize_rows(rows, page.text))
-        finally:
-            for wi, wo in writers.values():
-                wi.close()
-                wo.close()
-            for ri, ro in readers.values():
-                ri.close()
-                ro.close()
-        for u in self.units:
-            wi, wo = writers[u.uid]
-            stats[u.uid].i_blocks = wi.blocks
-            stats[u.uid].o_blocks = wo.blocks
-        return SnapshotRunResult(results=results, timings=timings,
-                                 unit_stats=stats, pages=len(ordered),
-                                 pages_with_previous=pages_with_prev)
-
-    @staticmethod
-    def _file(directory: str, uid: str, kind: str) -> str:
-        return os.path.join(directory, f"{_safe_filename(uid)}.{kind}.reuse")
+    def uids(self) -> List[str]:
+        return [u.uid for u in self.units]
 
     # -- per-page evaluation ----------------------------------------------
 
-    def _run_page(self, page: Page, q_page: Optional[Page],
-                  readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]],
-                  writers: Dict[str, Tuple[ReuseFileWriter, ReuseFileWriter]],
-                  cache: MatchCache, stats: Dict[str, UnitRunStats],
-                  timer: Timer) -> Dict[str, List[TupleRow]]:
+    def run_page(self, page: Page, q_page: Optional[Page],
+                 prev_capture: PrevCapture, sink,
+                 stats: Dict[str, UnitRunStats], timer: Timer,
+                 cache: Optional[MatchCache] = None
+                 ) -> Dict[str, List[TupleRow]]:
+        cache = cache if cache is not None else MatchCache()
         memo: Dict[int, List[TupleRow]] = {}
 
         def evaluate(node: Node) -> List[TupleRow]:
@@ -255,9 +217,11 @@ class ReuseEngine:
             unit = self._unit_of_top.get(key)
             if unit is not None:
                 child_rows = evaluate(unit.ie_node.child)
+                prev_inputs, prev_outputs = prev_capture.get(
+                    unit.uid, ([], {}))
                 rows = self._run_unit(unit, child_rows, page, q_page,
-                                      readers, writers, cache,
-                                      stats[unit.uid], timer)
+                                      prev_inputs, prev_outputs, sink,
+                                      cache, stats[unit.uid], timer)
             elif isinstance(node, ScanNode):
                 rows = [{node.var: Span(page.did, 0, len(page.text))}]
             elif isinstance(node, SelectNode):
@@ -289,42 +253,12 @@ class ReuseEngine:
 
     def _run_unit(self, unit: IEUnit, input_rows: List[TupleRow],
                   page: Page, q_page: Optional[Page],
-                  readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]],
-                  writers: Dict[str, Tuple[ReuseFileWriter, ReuseFileWriter]],
-                  cache: MatchCache, unit_stats: UnitRunStats,
+                  prev_inputs: List[InputTuple],
+                  prev_outputs: Dict[int, List[OutputTuple]],
+                  sink, cache: MatchCache, unit_stats: UnitRunStats,
                   timer: Timer) -> List[TupleRow]:
         matcher_name = self.assignment.of(unit)
-        writer_i, writer_o = writers[unit.uid]
         ctx = EvalContext(page.text, page.did)
-
-        prev_inputs: List[InputTuple] = []
-        prev_outputs: Dict[int, List[OutputTuple]] = {}
-        if q_page is not None and self._memory_capture is not None:
-            mem = self._memory_capture.get(unit.uid)
-            if mem is not None:
-                prev_inputs = mem[0].get(q_page.did, [])
-                prev_outputs = group_outputs_by_input(
-                    mem[1].get(q_page.did, []))
-        elif q_page is not None:
-            reader_pair = readers.get(unit.uid)
-            if reader_pair is not None:
-                try:
-                    with timer.measure(IO):
-                        prev_inputs = reader_pair[0].read_page_inputs(
-                            q_page.did)
-                        prev_outputs = group_outputs_by_input(
-                            reader_pair[1].read_page_outputs(q_page.did))
-                except (ValueError, KeyError):
-                    # A truncated or corrupt reuse file (e.g. the
-                    # previous run died mid-write) must never break the
-                    # current run: drop reuse for this unit and extract
-                    # from scratch for the rest of the snapshot.
-                    dropped = readers.pop(unit.uid, None)
-                    if dropped is not None:
-                        dropped[0].close()
-                        dropped[1].close()
-                    prev_inputs = []
-                    prev_outputs = {}
 
         # A match shorter than 2β + 2 enables no copying, so ST skips
         # such segments — but large-β units (CRFs) still benefit from
@@ -343,8 +277,8 @@ class ReuseEngine:
             unit_stats.input_chars += len(region)
             c = ""
             with timer.measure(IO):
-                tid = writer_i.append_input(page.did, region.start,
-                                            region.end, c)
+                tid = sink.append_input(unit.uid, page.did, region.start,
+                                        region.end, c)
 
             copied: List[Dict[str, object]] = []
             if (q_page is None or matcher_name == DN_NAME
@@ -405,11 +339,279 @@ class ReuseEngine:
             unit_stats.output_tuples += len(extensions)
             with timer.measure(IO):
                 for ext in extensions:
-                    writer_o.append_output(page.did, tid,
-                                           encode_fields(ext))
+                    sink.append_output(unit.uid, page.did, tid,
+                                       encode_fields(ext))
             for ext in extensions:
                 if unit.projects_away_input:
                     out_rows.append(dict(ext))
                 else:
                     out_rows.append({**row, **ext})
         return out_rows
+
+
+def _engine_batch_worker(evaluator: PageEvaluator, payload):
+    """Process one page batch in a (possibly remote) worker.
+
+    ``payload`` is ``(pairs, prev_slices)`` where ``pairs`` is the
+    batch's ``(page, q_page)`` sequence in canonical order and
+    ``prev_slices`` maps ``uid -> q_did -> (inputs, outputs)`` for
+    exactly the previous pages this batch recycles from.
+
+    Returns materialized per-relation rows (canonical page order
+    within the batch), the buffered page captures, per-unit stats,
+    and the worker's timing parts.
+    """
+    pairs, prev_slices = payload
+    timings = Timings()
+    timer = Timer(timings)
+    uids = evaluator.uids()
+    sink = BufferedCaptureSink(uids)
+    stats = {uid: UnitRunStats() for uid in uids}
+    rel_rows: Dict[str, List[Tuple]] = {
+        rel: [] for rel in evaluator.plan.program.head_relations()}
+    for page, q_page in pairs:
+        sink.begin_page(page.did)
+        prev_capture: PrevCapture = {}
+        if q_page is not None:
+            for uid in uids:
+                entry = prev_slices.get(uid, {}).get(q_page.did)
+                if entry is not None:
+                    prev_capture[uid] = (
+                        entry[0], group_outputs_by_input(entry[1]))
+        page_rows = evaluator.run_page(page, q_page, prev_capture, sink,
+                                       stats, timer, cache=MatchCache())
+        for rel, rows in page_rows.items():
+            rel_rows[rel].extend(materialize_rows(rows, page.text))
+    return rel_rows, sink.pages, stats, timings.parts
+
+
+class ReuseEngine:
+    """Executes a compiled plan over snapshots with unit-level reuse."""
+
+    def __init__(self, plan: CompiledPlan, units: List[IEUnit],
+                 assignment: PlanAssignment,
+                 scope: Optional[PageMatchScope] = None,
+                 executor: Optional[Executor] = None,
+                 scheduler: Optional[PageScheduler] = None) -> None:
+        self.plan = plan
+        self.units = units
+        self.assignment = assignment
+        self.scope = scope if scope is not None else SameUrlScope()
+        self.executor = executor
+        self.scheduler = scheduler if scheduler is not None else PageScheduler()
+        self.evaluator = PageEvaluator(plan, units, assignment)
+        missing = [u.uid for u in units if u.uid not in assignment.matchers]
+        if missing:
+            raise ValueError(f"assignment missing units {missing}")
+        for uid, name in assignment.matchers.items():
+            # Fail fast on unknown matcher names instead of mid-run.
+            make_matcher(name, MatchCache())
+
+    # -- snapshot-level driver -------------------------------------------
+
+    def run_snapshot(self, snapshot: Snapshot,
+                     prev_snapshot: Optional[Snapshot],
+                     prev_dir: Optional[str], out_dir: str,
+                     timings: Optional[Timings] = None) -> SnapshotRunResult:
+        """Run the plan over ``snapshot``, reusing ``prev_dir`` capture.
+
+        ``prev_snapshot``/``prev_dir`` are None for the bootstrap run.
+        Capture for the *next* snapshot is written under ``out_dir``.
+        """
+        timings = timings if timings is not None else Timings()
+        timer = Timer(timings)
+        os.makedirs(out_dir, exist_ok=True)
+        writers = {
+            u.uid: (ReuseFileWriter(self._file(out_dir, u.uid, "I")),
+                    ReuseFileWriter(self._file(out_dir, u.uid, "O")))
+            for u in self.units
+        }
+        stats = {u.uid: UnitRunStats() for u in self.units}
+        results: Dict[str, List[Tuple]] = {
+            rel: [] for rel in self.plan.program.head_relations()}
+        pages = snapshot.canonical_pages()
+        have_prev = prev_dir is not None and prev_snapshot is not None
+        parallel = (self.executor is not None and self.executor.jobs > 1
+                    and len(pages) > 1)
+        self.scope.begin_snapshot(prev_snapshot)
+        try:
+            with timer.measure_total():
+                if parallel:
+                    pages_with_prev = self._run_parallel(
+                        pages, have_prev, prev_dir, writers, stats,
+                        results, timer)
+                else:
+                    pages_with_prev = self._run_serial(
+                        pages, have_prev, prev_dir, writers, stats,
+                        results, timer)
+        finally:
+            for wi, wo in writers.values():
+                wi.close()
+                wo.close()
+        for u in self.units:
+            wi, wo = writers[u.uid]
+            stats[u.uid].i_blocks = wi.blocks
+            stats[u.uid].o_blocks = wo.blocks
+        return SnapshotRunResult(results=results, timings=timings,
+                                 unit_stats=stats, pages=len(pages),
+                                 pages_with_previous=pages_with_prev)
+
+    @staticmethod
+    def _file(directory: str, uid: str, kind: str) -> str:
+        return os.path.join(directory, f"{_safe_filename(uid)}.{kind}.reuse")
+
+    def _capture_paths(self, prev_dir: str
+                       ) -> Dict[str, Tuple[str, str]]:
+        """Units' (I, O) capture paths that exist under ``prev_dir``."""
+        out: Dict[str, Tuple[str, str]] = {}
+        for u in self.units:
+            i_path = self._file(prev_dir, u.uid, "I")
+            o_path = self._file(prev_dir, u.uid, "O")
+            if os.path.exists(i_path) and os.path.exists(o_path):
+                out[u.uid] = (i_path, o_path)
+        return out
+
+    # -- serial driver ----------------------------------------------------
+
+    def _run_serial(self, pages: Sequence[Page], have_prev: bool,
+                    prev_dir: Optional[str],
+                    writers: Dict[str, Tuple[ReuseFileWriter,
+                                             ReuseFileWriter]],
+                    stats: Dict[str, UnitRunStats],
+                    results: Dict[str, List[Tuple]], timer: Timer) -> int:
+        readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]] = {}
+        memory: Optional[Dict[str, Tuple[Dict[str, List[InputTuple]],
+                                         Dict[str, List[OutputTuple]]]]] = None
+        if have_prev:
+            assert prev_dir is not None
+            paths = self._capture_paths(prev_dir)
+            if self.scope.sequential_safe:
+                for uid, (i_path, o_path) in paths.items():
+                    readers[uid] = (ReuseFileReader(i_path),
+                                    ReuseFileReader(o_path))
+            else:
+                # Cross-URL pairing breaks the sequential access
+                # pattern; trade memory for random access.
+                with timer.measure(IO):
+                    memory = {uid: (load_reuse_file(i_path, "I"),
+                                    load_reuse_file(o_path, "O"))
+                              for uid, (i_path, o_path) in paths.items()}
+        sink = DirectCaptureSink(writers)
+        pages_with_prev = 0
+        try:
+            for page in pages:
+                q_page = self.scope.pair_for(page)
+                if q_page is not None:
+                    pages_with_prev += 1
+                sink.begin_page(page.did)
+                prev_capture = self._read_prev_capture(q_page, readers,
+                                                       memory, timer)
+                page_rows = self.evaluator.run_page(
+                    page, q_page, prev_capture, sink, stats, timer,
+                    cache=MatchCache())
+                for rel, rows in page_rows.items():
+                    results[rel].extend(materialize_rows(rows, page.text))
+        finally:
+            for ri, ro in readers.values():
+                ri.close()
+                ro.close()
+        return pages_with_prev
+
+    def _read_prev_capture(
+            self, q_page: Optional[Page],
+            readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]],
+            memory: Optional[Dict[str, Tuple[Dict[str, List[InputTuple]],
+                                             Dict[str, List[OutputTuple]]]]],
+            timer: Timer) -> PrevCapture:
+        """Previous capture for one page, per unit.
+
+        Sequential mode streams the unit's reuse files forward (every
+        unit's files advance on every paired page, which is what keeps
+        the one-pass scan aligned); memory mode indexes the preloaded
+        capture. A truncated or corrupt reuse file (e.g. the previous
+        run died mid-write) must never break the current run: drop
+        reuse for that unit and extract from scratch for the rest of
+        the snapshot.
+        """
+        capture: PrevCapture = {}
+        if q_page is None:
+            return capture
+        if memory is not None:
+            for uid, (mem_i, mem_o) in memory.items():
+                capture[uid] = (
+                    mem_i.get(q_page.did, []),
+                    group_outputs_by_input(mem_o.get(q_page.did, [])))
+            return capture
+        for uid in list(readers):
+            reader_pair = readers[uid]
+            try:
+                with timer.measure(IO):
+                    prev_inputs = reader_pair[0].read_page_inputs(
+                        q_page.did)
+                    prev_outputs = group_outputs_by_input(
+                        reader_pair[1].read_page_outputs(q_page.did))
+                capture[uid] = (prev_inputs, prev_outputs)
+            except (ValueError, KeyError):
+                dropped = readers.pop(uid, None)
+                if dropped is not None:
+                    dropped[0].close()
+                    dropped[1].close()
+        return capture
+
+    # -- parallel driver --------------------------------------------------
+
+    def _run_parallel(self, pages: Sequence[Page], have_prev: bool,
+                      prev_dir: Optional[str],
+                      writers: Dict[str, Tuple[ReuseFileWriter,
+                                               ReuseFileWriter]],
+                      stats: Dict[str, UnitRunStats],
+                      results: Dict[str, List[Tuple]],
+                      timer: Timer) -> int:
+        assert self.executor is not None
+        # Pair pages in canonical order in the parent so stateful
+        # scopes (fingerprint claims) behave exactly as in a serial run.
+        pairs = [(page, self.scope.pair_for(page)) for page in pages]
+        pages_with_prev = sum(1 for _, q in pairs if q is not None)
+        memory: Dict[str, Tuple[Dict[str, List[InputTuple]],
+                                Dict[str, List[OutputTuple]]]] = {}
+        if have_prev:
+            assert prev_dir is not None
+            with timer.measure(IO):
+                memory = {uid: (load_reuse_file(i_path, "I"),
+                                load_reuse_file(o_path, "O"))
+                          for uid, (i_path, o_path)
+                          in self._capture_paths(prev_dir).items()}
+        batches = self.scheduler.plan(list(pages), self.executor.jobs)
+        by_did = {page.did: q for page, q in pairs}
+        payloads = []
+        for batch in batches:
+            batch_pairs = tuple((page, by_did[page.did])
+                                for page in batch.pages)
+            q_dids = {q.did for _, q in batch_pairs if q is not None}
+            slices = {
+                uid: {did: (mem_i.get(did, []), mem_o.get(did, []))
+                      for did in q_dids
+                      if did in mem_i or did in mem_o}
+                for uid, (mem_i, mem_o) in memory.items()}
+            payloads.append((batch_pairs, slices))
+        wall_start = time.perf_counter()
+        timed = self.executor.map_batches(_engine_batch_worker,
+                                          self.evaluator, payloads)
+        wall_seconds = time.perf_counter() - wall_start
+        captures = []
+        for seconds, (rel_rows, page_caps, worker_stats, parts) in timed:
+            for rel, rows in rel_rows.items():
+                results[rel].extend(rows)
+            captures.extend(page_caps)
+            for uid, ws in worker_stats.items():
+                stats[uid].merge(ws)
+            for category, secs in parts.items():
+                timer.timings.add(category, secs)
+        with timer.measure(IO):
+            replay_captures(captures, writers)
+        timer.timings.runtime = build_metrics(
+            self.executor.name, self.executor.jobs,
+            wall_seconds=wall_seconds, batches=batches,
+            batch_seconds=[s for s, _ in timed],
+            merge_with=timer.timings.runtime)
+        return pages_with_prev

@@ -124,7 +124,9 @@ class FingerprintScope(PageMatchScope):
         self.fallback_pairs = 0
         if prev_snapshot is None:
             return
-        for page in prev_snapshot:
+        # Canonical page order: the inverted index (and therefore any
+        # similarity tie-break) must not depend on store insertion order.
+        for page in prev_snapshot.canonical_pages():
             sketch = shingle_sketch(page.text)
             self._sketches[page.url] = sketch
             for h in sketch:

@@ -1,0 +1,69 @@
+"""repro.runtime — parallel page-partitioned execution runtime.
+
+Every system processes a snapshot as a sequence of independent
+per-page decisions (match / copy / extract); that is exactly the
+*split-correctness* property that makes page-level IE embarrassingly
+parallel. This package factors the "walk the pages" loop out of the
+four systems into a shared, pluggable runtime:
+
+* :mod:`~repro.runtime.executor` — the :class:`Executor` interface
+  with serial, thread-pool, and process-pool backends plus an
+  auto-chooser keyed on blackbox cost;
+* :mod:`~repro.runtime.scheduler` — :class:`PageScheduler`, which
+  cuts the canonical page order into contiguous, size-balanced
+  batches so a deterministic merge is a plain concatenation;
+* :mod:`~repro.runtime.capture` — per-worker capture buffers and the
+  deterministic replay that merges them into the snapshot's reuse
+  files **byte-identically** to a serial run;
+* :mod:`~repro.runtime.metrics` — lightweight per-batch wall time,
+  worker utilization, and pages/sec accounting surfaced through
+  :mod:`repro.timing`.
+
+Determinism contract: for any executor backend and job count, a
+system must produce (1) identical canonical results and (2)
+byte-identical reuse/capture files compared to a serial run. The
+scheduler preserves canonical page order across the batch boundary
+and the capture replay reassigns tuple ids exactly as a serial writer
+would, so the next snapshot's recycling is oblivious to how the
+previous run was parallelized.
+"""
+
+from .capture import (
+    BufferedCaptureSink,
+    DirectCaptureSink,
+    PageCapture,
+    replay_captures,
+)
+from .executor import (
+    AUTO_PROCESS_WORK_FACTOR,
+    BACKEND_NAMES,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    choose_backend,
+    make_executor,
+)
+from .metrics import BatchMetric, RuntimeMetrics, build_metrics
+from .scheduler import PageBatch, PageScheduler, merge_batch_lists
+
+__all__ = [
+    "AUTO_PROCESS_WORK_FACTOR",
+    "BACKEND_NAMES",
+    "BatchMetric",
+    "BufferedCaptureSink",
+    "DirectCaptureSink",
+    "Executor",
+    "PageBatch",
+    "PageCapture",
+    "PageScheduler",
+    "ProcessPoolExecutor",
+    "RuntimeMetrics",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "build_metrics",
+    "choose_backend",
+    "make_executor",
+    "merge_batch_lists",
+    "replay_captures",
+]

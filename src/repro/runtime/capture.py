@@ -1,0 +1,134 @@
+"""Capture sinks: how per-page capture records reach the reuse files.
+
+The reuse engine records, per IE unit and page, the unit's input
+regions (``I_U``) and output tuples (``O_U``). Serial runs write them
+straight to :class:`~repro.reuse.files.ReuseFileWriter`s. Parallel
+workers cannot share those writers — tuple ids are assigned by a
+per-file counter and pages must land in canonical order — so workers
+record into in-memory :class:`PageCapture` buffers instead, and the
+parent replays the buffers into the real writers afterwards.
+
+The replay (:func:`replay_captures`) walks pages in canonical order
+and re-emits every record through the writer API, which reassigns
+tuple ids with the writers' own counters. Because the serial engine
+emits the very same sequence of writer calls, the merged files are
+**byte-identical** to a serial run's — the determinism contract the
+next snapshot's recycling relies on.
+
+Both sinks expose one interface so the engine's per-unit code is
+oblivious to which mode it runs in:
+
+* ``begin_page(did)`` — open a page group in every unit's files;
+* ``append_input(uid, did, s, e, c) -> tid`` — record an input tuple,
+  returning the id output tuples must reference;
+* ``append_output(uid, did, itid, fields)`` — record an output tuple.
+
+For :class:`DirectCaptureSink` the returned tid is the writer's real
+tuple id; for :class:`BufferedCaptureSink` it is a page-local index
+that the replay translates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..reuse.files import ReuseFileWriter
+
+WriterPair = Tuple[ReuseFileWriter, ReuseFileWriter]
+
+
+@dataclass
+class PageCapture:
+    """All capture records of one page, across all units.
+
+    ``inputs[uid]`` holds ``(s, e, c)`` triples in emission order;
+    ``outputs[uid]`` holds ``(local_itid, fields)`` pairs where
+    ``local_itid`` indexes into ``inputs[uid]``.
+    """
+
+    did: str
+    inputs: Dict[str, List[Tuple[int, int, str]]] = field(
+        default_factory=dict)
+    outputs: Dict[str, List[Tuple[int, Tuple]]] = field(
+        default_factory=dict)
+
+    def records(self) -> int:
+        return (sum(len(v) for v in self.inputs.values())
+                + sum(len(v) for v in self.outputs.values()))
+
+
+class DirectCaptureSink:
+    """Serial mode: pass records straight to the real writers."""
+
+    def __init__(self, writers: Dict[str, WriterPair]) -> None:
+        self._writers = writers
+
+    def begin_page(self, did: str) -> None:
+        for writer_i, writer_o in self._writers.values():
+            writer_i.begin_page(did)
+            writer_o.begin_page(did)
+
+    def append_input(self, uid: str, did: str, s: int, e: int,
+                     c: str = "") -> int:
+        return self._writers[uid][0].append_input(did, s, e, c)
+
+    def append_output(self, uid: str, did: str, itid: int,
+                      fields: Tuple) -> None:
+        self._writers[uid][1].append_output(did, itid, fields)
+
+
+class BufferedCaptureSink:
+    """Worker mode: record into per-page buffers for a later replay."""
+
+    def __init__(self, uids: Sequence[str]) -> None:
+        self._uids = tuple(uids)
+        self.pages: List[PageCapture] = []
+
+    def _current(self) -> PageCapture:
+        if not self.pages:
+            raise ValueError("no page group started")
+        return self.pages[-1]
+
+    def begin_page(self, did: str) -> None:
+        self.pages.append(PageCapture(
+            did=did,
+            inputs={uid: [] for uid in self._uids},
+            outputs={uid: [] for uid in self._uids}))
+
+    def append_input(self, uid: str, did: str, s: int, e: int,
+                     c: str = "") -> int:
+        page = self._current()
+        if page.did != did:
+            raise ValueError(f"page group {did!r} not current "
+                             f"({page.did!r} is)")
+        page.inputs[uid].append((s, e, c))
+        return len(page.inputs[uid]) - 1
+
+    def append_output(self, uid: str, did: str, itid: int,
+                      fields: Tuple) -> None:
+        page = self._current()
+        if page.did != did:
+            raise ValueError(f"page group {did!r} not current "
+                             f"({page.did!r} is)")
+        page.outputs[uid].append((itid, fields))
+
+
+def replay_captures(captures: Iterable[PageCapture],
+                    writers: Dict[str, WriterPair]) -> None:
+    """Merge buffered captures into the real reuse files.
+
+    ``captures`` must be in canonical page order (contiguous batches
+    concatenated in batch order provide exactly that). Tuple ids are
+    reassigned by the writers' own counters, reproducing the byte
+    stream a serial run would have written.
+    """
+    for page in captures:
+        for uid, (writer_i, writer_o) in writers.items():
+            writer_i.begin_page(page.did)
+            writer_o.begin_page(page.did)
+            tid_map = [writer_i.append_input(page.did, s, e, c)
+                       for s, e, c in page.inputs.get(uid, ())]
+            for local_itid, fields in page.outputs.get(uid, ()):
+                writer_o.append_output(page.did, tid_map[local_itid],
+                                       fields)

@@ -1,0 +1,183 @@
+"""Executor backends: where page batches actually run.
+
+An :class:`Executor` maps a module-level worker function over a list
+of batch payloads and returns the results *in submission order* —
+order preservation is what lets callers merge per-batch outputs back
+into canonical page order with a plain concatenation.
+
+Three backends:
+
+* :class:`SerialExecutor` — runs batches inline. Zero overhead, the
+  reference for the determinism contract.
+* :class:`ThreadPoolExecutor` — a thread per job. The GIL serializes
+  pure-Python extraction, but threads overlap reuse-file I/O and add
+  essentially no startup or serialization cost, so they are the right
+  choice for cheap blackboxes.
+* :class:`ProcessPoolExecutor` — a process per job. True parallelism
+  for CPU-bound blackbox work at the price of forking workers and
+  pickling the shared state once per worker plus each batch payload.
+  Worker functions must be module-level and all state picklable.
+
+The auto-chooser (:func:`choose_backend`) picks between them using a
+blackbox *cost hint* — the task's maximum emulated ``work_factor`` —
+because process startup/pickling only amortizes when extraction is
+expensive enough to dominate it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _futures
+import multiprocessing
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+BACKEND_NAMES = ("auto", "serial", "thread", "process")
+
+#: Blackbox ``work_factor`` at which the auto-chooser switches from
+#: threads to processes. Below this the per-page Python work is so
+#: cheap that fork + pickling overhead exceeds the parallel win.
+AUTO_PROCESS_WORK_FACTOR = 32
+
+#: Worker function invoked in a process-pool worker. Installed once
+#: per worker by the pool initializer so the (potentially large)
+#: shared state is pickled once per worker, not once per batch.
+_WORKER_FN: Optional[Callable[[Any, Any], Any]] = None
+_WORKER_STATE: Any = None
+
+
+def _install_worker(fn: Callable[[Any, Any], Any], state: Any) -> None:
+    global _WORKER_FN, _WORKER_STATE
+    _WORKER_FN = fn
+    _WORKER_STATE = state
+
+
+def _run_installed(item: Any) -> Tuple[float, Any]:
+    assert _WORKER_FN is not None, "worker pool not initialized"
+    start = time.perf_counter()
+    value = _WORKER_FN(_WORKER_STATE, item)
+    return (time.perf_counter() - start, value)
+
+
+def _timed_call(fn: Callable[[Any, Any], Any], state: Any,
+                item: Any) -> Tuple[float, Any]:
+    start = time.perf_counter()
+    value = fn(state, item)
+    return (time.perf_counter() - start, value)
+
+
+class Executor(ABC):
+    """Maps a worker function over batch payloads, order-preserving."""
+
+    #: Backend identifier ("serial", "thread", "process").
+    name: str = "serial"
+    #: Degree of parallelism the backend aims for.
+    jobs: int = 1
+
+    @abstractmethod
+    def map_batches(self, fn: Callable[[Any, Any], Any], state: Any,
+                    items: Sequence[Any]) -> List[Tuple[float, Any]]:
+        """Apply ``fn(state, item)`` to every item.
+
+        Returns ``(seconds, value)`` pairs in submission order;
+        ``seconds`` is the worker-side wall time of that one call.
+        """
+
+    def describe(self) -> str:
+        return f"{self.name}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """Run every batch inline in the calling thread."""
+
+    name = "serial"
+    jobs = 1
+
+    def map_batches(self, fn: Callable[[Any, Any], Any], state: Any,
+                    items: Sequence[Any]) -> List[Tuple[float, Any]]:
+        return [_timed_call(fn, state, item) for item in items]
+
+
+class ThreadPoolExecutor(Executor):
+    """Run batches on a shared-memory thread pool."""
+
+    name = "thread"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def map_batches(self, fn: Callable[[Any, Any], Any], state: Any,
+                    items: Sequence[Any]) -> List[Tuple[float, Any]]:
+        if not items:
+            return []
+        workers = min(self.jobs, len(items))
+        with _futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_timed_call, fn, state, item)
+                       for item in items]
+            return [f.result() for f in futures]
+
+
+class ProcessPoolExecutor(Executor):
+    """Run batches on an OS-process pool (true CPU parallelism).
+
+    ``fn`` must be a module-level function and ``state``/payloads must
+    be picklable. Prefers the ``fork`` start method when the platform
+    offers it (cheap worker startup, Linux/macOS); falls back to the
+    platform default otherwise.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int, start_method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    def map_batches(self, fn: Callable[[Any, Any], Any], state: Any,
+                    items: Sequence[Any]) -> List[Tuple[float, Any]]:
+        if not items:
+            return []
+        workers = min(self.jobs, len(items))
+        ctx = multiprocessing.get_context(self.start_method)
+        with _futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx,
+                initializer=_install_worker,
+                initargs=(fn, state)) as pool:
+            return list(pool.map(_run_installed, items))
+
+
+def choose_backend(jobs: int, cost_hint: float = 0.0) -> str:
+    """Pick a backend name from the job count and blackbox cost.
+
+    ``cost_hint`` is the task's heaviest emulated ``work_factor`` (or
+    any monotone proxy for per-character extraction cost). Serial when
+    nothing to parallelize; processes when extraction is CPU-heavy
+    enough to amortize fork+pickle; threads for cheap blackboxes where
+    only I/O overlap is worth having.
+    """
+    if jobs <= 1:
+        return "serial"
+    if cost_hint >= AUTO_PROCESS_WORK_FACTOR:
+        return "process"
+    return "thread"
+
+
+def make_executor(backend: str = "auto", jobs: int = 1,
+                  cost_hint: float = 0.0) -> Executor:
+    """Build an executor; ``backend='auto'`` applies :func:`choose_backend`."""
+    if backend not in BACKEND_NAMES:
+        raise ValueError(f"unknown backend {backend!r}; choose from "
+                         f"{BACKEND_NAMES}")
+    if backend == "auto":
+        backend = choose_backend(jobs, cost_hint)
+    if backend == "serial" or jobs <= 1:
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadPoolExecutor(jobs)
+    return ProcessPoolExecutor(jobs)

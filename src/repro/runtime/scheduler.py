@@ -1,0 +1,100 @@
+"""Page scheduling: cut canonical page order into balanced batches.
+
+The scheduler partitions a page sequence into **contiguous** batches
+so that concatenating per-batch outputs in batch-index order restores
+the exact serial page order — the property that makes the capture
+merge deterministic (see :mod:`repro.runtime.capture`).
+
+Batches are size-balanced by total page length (characters), the best
+cheap proxy for per-page IE cost: extraction, matching, and copy work
+all scale with region characters. A mild oversubscription factor
+(``batches_per_job``) creates more batches than workers so one
+unusually heavy batch doesn't serialize the tail of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, TypeVar
+
+from ..text.document import Page
+
+T = TypeVar("T")
+
+#: Default batches per worker: enough slack to smooth page-length skew
+#: without drowning the run in per-batch overhead.
+DEFAULT_BATCHES_PER_JOB = 4
+
+
+@dataclass(frozen=True)
+class PageBatch:
+    """A contiguous slice of the canonical page order."""
+
+    index: int
+    pages: Tuple[Page, ...]
+
+    @property
+    def chars(self) -> int:
+        return sum(len(p.text) for p in self.pages)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self) -> Iterator[Page]:
+        return iter(self.pages)
+
+
+class PageScheduler:
+    """Builds size-balanced, order-preserving page batches."""
+
+    def __init__(self, batches_per_job: int = DEFAULT_BATCHES_PER_JOB) -> None:
+        if batches_per_job < 1:
+            raise ValueError("batches_per_job must be >= 1")
+        self.batches_per_job = batches_per_job
+
+    def plan(self, pages: Sequence[Page], jobs: int) -> List[PageBatch]:
+        """Partition ``pages`` into at most ``jobs * batches_per_job``
+        contiguous batches with near-equal character totals.
+
+        Every page appears in exactly one batch; batch order equals
+        page order; no batch is empty.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if not pages:
+            return []
+        n_batches = min(len(pages), jobs * self.batches_per_job)
+        # Weight 1 + len(text): even empty pages carry bookkeeping cost,
+        # and it keeps the partition defined for all-empty snapshots.
+        weights = [1 + len(p.text) for p in pages]
+        total = sum(weights)
+        batches: List[PageBatch] = []
+        start = 0
+        acc = 0
+        for i, weight in enumerate(weights):
+            acc += weight
+            remaining_pages = len(pages) - (i + 1)
+            remaining_batches = n_batches - len(batches) - 1
+            # Close the current batch once it reaches its fair share,
+            # but never leave fewer pages than batches still to fill.
+            target = total * (len(batches) + 1) / n_batches
+            if (acc >= target and remaining_batches > 0) \
+                    or remaining_pages == remaining_batches:
+                batches.append(PageBatch(index=len(batches),
+                                         pages=tuple(pages[start:i + 1])))
+                start = i + 1
+            if len(batches) == n_batches - 1 and start < len(pages):
+                break
+        if start < len(pages):
+            batches.append(PageBatch(index=len(batches),
+                                     pages=tuple(pages[start:])))
+        assert sum(len(b) for b in batches) == len(pages)
+        return batches
+
+
+def merge_batch_lists(per_batch: Sequence[List[T]]) -> List[T]:
+    """Concatenate per-batch lists in batch order (the canonical merge)."""
+    merged: List[T] = []
+    for chunk in per_batch:
+        merged.extend(chunk)
+    return merged

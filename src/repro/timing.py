@@ -13,7 +13,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+if TYPE_CHECKING:  # typing-only; avoids a package import cycle
+    from .runtime.metrics import RuntimeMetrics
 
 MATCH = "match"
 EXTRACT = "extract"
@@ -27,10 +30,19 @@ CATEGORIES = (MATCH, EXTRACT, COPY, OPT, IO, OTHER)
 
 @dataclass
 class Timings:
-    """Accumulated seconds per category plus the wall-clock total."""
+    """Accumulated seconds per category plus the wall-clock total.
+
+    ``runtime`` optionally carries the execution runtime's telemetry
+    (:class:`~repro.runtime.metrics.RuntimeMetrics`) for the run that
+    produced these timings: per-batch wall time, worker utilization,
+    pages/sec. It is attached by the systems when they route their
+    page loop through :mod:`repro.runtime`.
+    """
 
     parts: Dict[str, float] = field(default_factory=dict)
     total: float = 0.0
+    runtime: Optional["RuntimeMetrics"] = field(default=None, repr=False,
+                                                compare=False)
 
     def add(self, category: str, seconds: float) -> None:
         self.parts[category] = self.parts.get(category, 0.0) + seconds
@@ -45,7 +57,9 @@ class Timings:
         return max(0.0, self.total - attributed)
 
     def merged(self, other: "Timings") -> "Timings":
-        merged = Timings(parts=dict(self.parts), total=self.total + other.total)
+        merged = Timings(parts=dict(self.parts),
+                         total=self.total + other.total,
+                         runtime=self.runtime or other.runtime)
         for category, seconds in other.parts.items():
             merged.add(category, seconds)
         return merged

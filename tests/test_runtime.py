@@ -1,0 +1,377 @@
+"""The execution runtime: scheduler, executors, capture merge, parity.
+
+The runtime's contract is that backend and worker count are pure
+performance knobs: for any executor, every system must produce the
+same canonical results AND byte-identical reuse files as a serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import pytest
+
+from repro.corpus import dblife_corpus, wikipedia_corpus
+from repro.core.runner import (
+    canonical_results,
+    make_system,
+    resolve_executor,
+    task_cost_hint,
+    verify_serial_parallel,
+)
+from repro.extractors import make_task
+from repro.reuse.files import ReuseFileWriter, encode_fields
+from repro.runtime import (
+    AUTO_PROCESS_WORK_FACTOR,
+    BufferedCaptureSink,
+    DirectCaptureSink,
+    PageBatch,
+    PageScheduler,
+    ProcessPoolExecutor,
+    RuntimeMetrics,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    build_metrics,
+    choose_backend,
+    make_executor,
+    merge_batch_lists,
+    replay_captures,
+)
+from repro.text.document import Page
+from repro.text.span import Span
+
+
+def _pages(sizes):
+    return [Page.from_url(f"http://site/{i:03d}", "x" * size)
+            for i, size in enumerate(sizes)]
+
+
+# ---------------------------------------------------------------------------
+# PageScheduler
+
+
+class TestPageScheduler:
+    def test_empty_input(self):
+        assert PageScheduler().plan([], 4) == []
+
+    def test_every_page_exactly_once_in_order(self):
+        pages = _pages([10, 0, 500, 30, 30, 900, 1, 1, 1, 250])
+        batches = PageScheduler().plan(pages, 3)
+        flat = [p for b in batches for p in b]
+        assert flat == pages  # order preserved, full coverage
+        assert [b.index for b in batches] == list(range(len(batches)))
+        assert all(len(b) > 0 for b in batches)
+
+    def test_batches_are_contiguous_slices(self):
+        pages = _pages([100] * 17)
+        batches = PageScheduler(batches_per_job=2).plan(pages, 4)
+        start = 0
+        for batch in batches:
+            assert tuple(pages[start:start + len(batch)]) == batch.pages
+            start += len(batch)
+        assert start == len(pages)
+
+    def test_batch_count_capped_by_pages(self):
+        pages = _pages([5, 5, 5])
+        batches = PageScheduler().plan(pages, 8)
+        assert len(batches) == 3  # never more batches than pages
+
+    def test_single_job_oversubscribes_mildly(self):
+        pages = _pages([10] * 40)
+        batches = PageScheduler(batches_per_job=4).plan(pages, 1)
+        assert len(batches) == 4
+
+    def test_size_balance_on_uniform_pages(self):
+        pages = _pages([100] * 64)
+        batches = PageScheduler(batches_per_job=1).plan(pages, 4)
+        sizes = [b.chars for b in batches]
+        assert len(batches) == 4
+        assert max(sizes) <= 2 * min(sizes)
+
+    def test_size_balance_with_skew(self):
+        # One giant page must not drag its neighbours into one batch.
+        pages = _pages([10, 10, 10_000, 10, 10, 10, 10, 10])
+        batches = PageScheduler(batches_per_job=1).plan(pages, 4)
+        giant = [b for b in batches if any(len(p.text) == 10_000
+                                           for p in b)]
+        assert len(giant) == 1
+        assert len(giant[0]) <= 3
+
+    def test_all_empty_pages_still_partition(self):
+        pages = _pages([0] * 9)
+        batches = PageScheduler(batches_per_job=1).plan(pages, 3)
+        assert [p for b in batches for p in b] == pages
+        assert len(batches) == 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            PageScheduler(batches_per_job=0)
+        with pytest.raises(ValueError):
+            PageScheduler().plan(_pages([1]), 0)
+
+    def test_merge_batch_lists(self):
+        assert merge_batch_lists([[1, 2], [], [3]]) == [1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Executor backends
+
+
+def _square_worker(state, item):
+    return state * item * item
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(),
+        ThreadPoolExecutor(jobs=3),
+        ProcessPoolExecutor(jobs=3),
+    ], ids=["serial", "thread", "process"])
+    def test_map_batches_order_and_values(self, executor):
+        timed = executor.map_batches(_square_worker, 2, list(range(10)))
+        assert [v for _, v in timed] == [2 * i * i for i in range(10)]
+        assert all(s >= 0.0 for s, _ in timed)
+
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(),
+        ThreadPoolExecutor(jobs=2),
+        ProcessPoolExecutor(jobs=2),
+    ], ids=["serial", "thread", "process"])
+    def test_empty_items(self, executor):
+        assert executor.map_batches(_square_worker, 1, []) == []
+
+    def test_describe(self):
+        assert SerialExecutor().describe() == "serial(jobs=1)"
+        assert ThreadPoolExecutor(jobs=4).describe() == "thread(jobs=4)"
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ThreadPoolExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(jobs=0)
+
+
+class TestAutoChooser:
+    def test_serial_when_single_job(self):
+        assert choose_backend(1, cost_hint=1000) == "serial"
+        assert isinstance(make_executor("auto", jobs=1), SerialExecutor)
+
+    def test_threads_for_cheap_blackboxes(self):
+        assert choose_backend(4, cost_hint=0) == "thread"
+        ex = make_executor("auto", jobs=4, cost_hint=0)
+        assert isinstance(ex, ThreadPoolExecutor)
+
+    def test_processes_for_expensive_blackboxes(self):
+        hint = AUTO_PROCESS_WORK_FACTOR
+        assert choose_backend(4, cost_hint=hint) == "process"
+        ex = make_executor("auto", jobs=4, cost_hint=hint)
+        assert isinstance(ex, ProcessPoolExecutor)
+
+    def test_explicit_backend_wins(self):
+        ex = make_executor("process", jobs=2, cost_hint=0)
+        assert isinstance(ex, ProcessPoolExecutor)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu", jobs=2)
+
+    def test_task_cost_hint_feeds_chooser(self):
+        heavy = make_task("chair", work_scale=1.0)
+        light = make_task("chair", work_scale=0)
+        assert task_cost_hint(heavy) > task_cost_hint(light) == 0.0
+        assert resolve_executor(light, jobs=1) is None
+        assert isinstance(resolve_executor(light, jobs=2),
+                          ThreadPoolExecutor)
+
+
+# ---------------------------------------------------------------------------
+# Capture buffers and the byte-identical merge
+
+
+def _emit(sink, uid_rows):
+    """Drive a sink through a fixed page/record sequence."""
+    for did, per_unit in uid_rows:
+        sink.begin_page(did)
+        for uid, inputs in per_unit.items():
+            for (s, e, c, outs) in inputs:
+                tid = sink.append_input(uid, did, s, e, c)
+                for fields in outs:
+                    sink.append_output(uid, did, tid, fields)
+
+
+def _capture_script():
+    f1 = encode_fields({"x": Span("d01", 2, 5)})
+    f2 = encode_fields({"x": Span("d01", 7, 9), "n": 3})
+    return [
+        ("d01", {"u1": [(0, 10, "", [f1, f2]), (10, 30, "k", [])],
+                 "u2": [(0, 30, "", [f1])]}),
+        ("d02", {"u1": [], "u2": [(5, 9, "", [f2])]}),
+        ("d03", {"u1": [(1, 4, "", [f1])], "u2": []}),
+    ]
+
+
+def _write_files(directory, mode):
+    os.makedirs(directory, exist_ok=True)
+    writers = {uid: (ReuseFileWriter(os.path.join(directory, f"{uid}.I")),
+                     ReuseFileWriter(os.path.join(directory, f"{uid}.O")))
+               for uid in ("u1", "u2")}
+    script = _capture_script()
+    if mode == "direct":
+        _emit(DirectCaptureSink(writers), script)
+    else:
+        # Two "workers", pages split mid-sequence, merged by replay.
+        first, second = (BufferedCaptureSink(["u1", "u2"]) for _ in "ab")
+        _emit(first, script[:2])
+        _emit(second, script[2:])
+        replay_captures(first.pages + second.pages, writers)
+    for wi, wo in writers.values():
+        wi.close()
+        wo.close()
+    return {name: open(os.path.join(directory, name), "rb").read()
+            for name in sorted(os.listdir(directory))}
+
+
+class TestCaptureMerge:
+    def test_replay_is_byte_identical_to_direct(self, tmp_path):
+        direct = _write_files(str(tmp_path / "direct"), "direct")
+        merged = _write_files(str(tmp_path / "buffered"), "buffered")
+        assert direct == merged
+        assert any(direct.values())  # files actually contain records
+
+    def test_buffered_requires_open_page(self):
+        sink = BufferedCaptureSink(["u1"])
+        with pytest.raises(ValueError):
+            sink.append_input("u1", "d01", 0, 1)
+        sink.begin_page("d01")
+        with pytest.raises(ValueError):
+            sink.append_input("u1", "d99", 0, 1)
+
+    def test_local_tids_are_per_page(self):
+        sink = BufferedCaptureSink(["u1"])
+        sink.begin_page("d01")
+        assert sink.append_input("u1", "d01", 0, 1) == 0
+        assert sink.append_input("u1", "d01", 1, 2) == 1
+        sink.begin_page("d02")
+        assert sink.append_input("u1", "d02", 0, 1) == 0
+
+
+# ---------------------------------------------------------------------------
+# Runtime metrics
+
+
+class TestMetrics:
+    def test_build_and_aggregate(self):
+        pages = _pages([100, 100, 100, 100])
+        batches = PageScheduler(batches_per_job=1).plan(pages, 2)
+        metrics = build_metrics("thread", 2, wall_seconds=1.0,
+                                batches=batches, batch_seconds=[0.6, 0.8])
+        assert isinstance(metrics, RuntimeMetrics)
+        assert metrics.pages == 4
+        assert metrics.busy_seconds == pytest.approx(1.4)
+        assert metrics.pages_per_second == pytest.approx(4.0)
+        assert 0.0 < metrics.worker_utilization <= 1.0
+        assert "thread" in metrics.describe()
+
+    def test_length_mismatch_rejected(self):
+        pages = _pages([10, 10])
+        batches = PageScheduler(batches_per_job=1).plan(pages, 2)
+        with pytest.raises(ValueError):
+            build_metrics("serial", 1, 0.5, batches, [0.1])
+
+    def test_systems_attach_metrics(self, tmp_path):
+        task = make_task("play", work_scale=0)
+        snaps = list(wikipedia_corpus(n_pages=8, seed=3).snapshots(2))
+        system = make_system("noreuse", task, str(tmp_path), jobs=2,
+                             backend="thread")
+        result = system.process(snaps[0])
+        runtime = result.timings.runtime
+        assert runtime is not None
+        assert runtime.backend == "thread" and runtime.jobs == 2
+        assert runtime.pages == len(snaps[0])
+
+
+# ---------------------------------------------------------------------------
+# Serial <-> parallel parity (Theorem 1, runtime edition)
+
+
+def _tree_digests(directory):
+    out = {}
+    for root, _, names in os.walk(directory):
+        for name in names:
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, directory)
+            with open(path, "rb") as f:
+                out[rel] = hashlib.sha256(f.read()).hexdigest()
+    return out
+
+
+def _run_system(name, task, snaps, workdir, executor=None):
+    system = make_system(name, task, workdir, executor=executor)
+    outputs = []
+    prev = None
+    for snap in snaps:
+        outputs.append(canonical_results(system.process(snap, prev)))
+        prev = snap
+    return outputs
+
+
+class TestSerialParallelParity:
+    @pytest.mark.parametrize("system_name",
+                             ["noreuse", "shortcut", "cyclex", "delex"])
+    def test_thread_jobs2_results_and_files(self, system_name, tmp_path,
+                                            dblife_snapshots):
+        task = make_task("chair", work_scale=0)
+        serial_dir = str(tmp_path / "serial")
+        parallel_dir = str(tmp_path / "parallel")
+        serial = _run_system(system_name, task, dblife_snapshots,
+                             serial_dir)
+        parallel = _run_system(system_name, task, dblife_snapshots,
+                               parallel_dir,
+                               executor=ThreadPoolExecutor(jobs=2))
+        assert serial == parallel
+        assert _tree_digests(serial_dir) == _tree_digests(parallel_dir)
+
+    def test_delex_process_jobs4_property(self, tmp_path):
+        """Serial and 4-process Delex agree snapshot by snapshot on a
+        3-snapshot evolving corpus — results and reuse-file bytes."""
+        task = make_task("play", work_scale=0)
+        snaps = list(wikipedia_corpus(n_pages=12, seed=11).snapshots(3))
+        serial_dir = str(tmp_path / "serial")
+        parallel_dir = str(tmp_path / "parallel")
+        serial = _run_system("delex", task, snaps, serial_dir)
+        parallel = _run_system("delex", task, snaps, parallel_dir,
+                               executor=ProcessPoolExecutor(jobs=4))
+        for i, (s, p) in enumerate(zip(serial, parallel)):
+            assert s == p, f"snapshot {i} diverged"
+        assert _tree_digests(serial_dir) == _tree_digests(parallel_dir)
+
+    def test_verify_serial_parallel_helper(self, dblife_snapshots):
+        task = make_task("chair", work_scale=0)
+        problems = verify_serial_parallel(task, dblife_snapshots[:3],
+                                          systems=("noreuse", "delex"),
+                                          jobs=2)
+        assert problems == []
+
+    def test_scheduler_batch_shapes_do_not_change_results(self, tmp_path):
+        """Pathological batching (1 page per batch) is still exact."""
+        task = make_task("play", work_scale=0)
+        snaps = list(wikipedia_corpus(n_pages=6, seed=5).snapshots(2))
+        a = _run_system("delex", task, snaps, str(tmp_path / "a"))
+        b_sys = make_system("delex", task, str(tmp_path / "b"),
+                            executor=ThreadPoolExecutor(jobs=2))
+        b_sys.scheduler = PageScheduler(batches_per_job=64)
+        outputs = []
+        prev = None
+        for snap in snaps:
+            outputs.append(canonical_results(b_sys.process(snap, prev)))
+            prev = snap
+        assert a == outputs
+
+
+def test_page_batch_helpers():
+    pages = _pages([3, 4])
+    batch = PageBatch(index=0, pages=tuple(pages))
+    assert len(batch) == 2
+    assert list(batch) == pages
+    assert batch.chars == 7
