@@ -1,0 +1,157 @@
+"""Snapshot-delta fast-path benchmark (extension).
+
+Low-churn corpora are the fast paths' home turf: with >= 60% of pages
+unchanged between snapshots, fingerprint short circuits skip the
+matcher on most page pairs and the match memo / automaton cache absorb
+most of the rest. This benchmark runs Delex with a pinned matcher
+assignment over a low-churn DBLife series twice — fast paths on and
+off — and compares the *matcher* wall time (the ``match`` category of
+the Figure 11 decomposition) plus the fast-path hit counters. It
+emits a machine-readable ``BENCH_fastpath.json`` at the repo root and
+asserts the headline claim: at least ``MIN_MATCH_SPEEDUP``x less
+matcher time with the fast paths on, at identical results.
+
+Intentionally free of the pytest-benchmark fixture so it runs under a
+plain ``pytest``/``hypothesis`` install (the CI smoke job).
+"""
+
+import json
+import os
+
+from conftest import save_table
+
+from repro.core.runner import canonical_results, make_system
+from repro.corpus import dblife_corpus
+from repro.extractors import make_task
+from repro.matchers.base import ST_NAME, UD_NAME
+from repro.plan import compile_program, find_units
+from repro.reuse.engine import PlanAssignment
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_fastpath.json")
+
+TASK = "chair"
+PAGES = int(os.environ.get("REPRO_BENCH_FASTPATH_PAGES", "40"))
+N_SNAPSHOTS = int(os.environ.get("REPRO_BENCH_FASTPATH_SNAPSHOTS", "4"))
+P_UNCHANGED = 0.7        # low churn: >= 60% of pages identical
+WORK_SCALE = float(os.environ.get("REPRO_BENCH_FASTPATH_WORK", "0.2"))
+MIN_MATCH_SPEEDUP = 2.0  # on-vs-off matcher wall-time factor (ST)
+
+
+def _run(task, snapshots, assignment, fastpath, workdir):
+    """One Delex series; returns matcher seconds, counters, results."""
+    system = make_system("delex", task, workdir, fastpath=fastpath,
+                         fixed_assignment=assignment)
+    match_seconds = 0.0
+    total_seconds = 0.0
+    outputs = []
+    fp_rows = []
+    prev = None
+    for i, snapshot in enumerate(snapshots):
+        result = system.process(snapshot, prev)
+        if i > 0:  # skip the bootstrap: no matching happens there
+            match_seconds += result.timings.get("match")
+            total_seconds += result.timings.total
+            if result.timings.fastpath is not None:
+                fp_rows.append(result.timings.fastpath.as_dict())
+        outputs.append(canonical_results(result))
+        prev = snapshot
+    counters = {}
+    for row in fp_rows:
+        for key, value in row.items():
+            if key.endswith("_rate") or key.endswith("_fraction"):
+                continue
+            counters[key] = counters.get(key, 0) + value
+    paired = counters.get("pages_paired", 0)
+    memo_calls = (counters.get("memo_hits", 0)
+                  + counters.get("memo_misses", 0))
+    counters["unchanged_fraction"] = (
+        counters.get("pages_short_circuited", 0) / paired if paired else 0.0)
+    counters["memo_hit_rate"] = (
+        counters.get("memo_hits", 0) / memo_calls if memo_calls else 0.0)
+    return {
+        "match_seconds": match_seconds,
+        "total_seconds": total_seconds,
+        "fastpath": counters,
+    }, outputs
+
+
+def run_matching_fastpath(tmp_root):
+    task = make_task(TASK, work_scale=WORK_SCALE)
+    snapshots = list(dblife_corpus(
+        n_pages=PAGES, seed=81,
+        p_unchanged=P_UNCHANGED).snapshots(N_SNAPSHOTS))
+    plan = compile_program(task.program, task.registry)
+    units = find_units(plan)
+    data = {
+        "task": TASK,
+        "pages": PAGES,
+        "snapshots": N_SNAPSHOTS,
+        "p_unchanged": P_UNCHANGED,
+        "work_scale": WORK_SCALE,
+        "min_match_speedup": MIN_MATCH_SPEEDUP,
+        "cpu_count": os.cpu_count(),
+        "matchers": {},
+    }
+    for matcher in (ST_NAME, UD_NAME):
+        assignment = PlanAssignment.uniform(units, matcher)
+        slow, slow_out = _run(
+            task, snapshots, assignment, "off",
+            os.path.join(tmp_root, f"{matcher}_off"))
+        fast, fast_out = _run(
+            task, snapshots, assignment, "on",
+            os.path.join(tmp_root, f"{matcher}_on"))
+        assert fast_out == slow_out, \
+            f"{matcher}: fast paths changed the results"
+        on_match = fast["match_seconds"]
+        off_match = slow["match_seconds"]
+        data["matchers"][matcher] = {
+            "match_seconds_off": off_match,
+            "match_seconds_on": on_match,
+            "match_speedup": (off_match / on_match if on_match > 0
+                              else float("inf")),
+            "total_seconds_off": slow["total_seconds"],
+            "total_seconds_on": fast["total_seconds"],
+            "fastpath": fast["fastpath"],
+        }
+    return data
+
+
+def _render(data):
+    lines = [f"Matching fast paths ('{data['task']}', {data['pages']} "
+             f"pages, {data['snapshots']} snapshots, "
+             f"p_unchanged={data['p_unchanged']})",
+             f"{'matcher':<9}{'match off':>11}{'match on':>11}"
+             f"{'speedup':>9}{'unchanged':>11}{'memo hit':>10}"]
+    for name, row in data["matchers"].items():
+        fp = row["fastpath"]
+        speedup = row["match_speedup"]
+        speedup_txt = ("inf" if speedup == float("inf")
+                       else f"{speedup:.1f}x")
+        lines.append(
+            f"{name:<9}{row['match_seconds_off']:>10.3f}s"
+            f"{row['match_seconds_on']:>10.3f}s{speedup_txt:>9}"
+            f"{fp['unchanged_fraction']:>11.2f}"
+            f"{fp['memo_hit_rate']:>10.2f}")
+    return "\n".join(lines) + "\n"
+
+
+def test_matching_fastpath(tmp_path):
+    data = run_matching_fastpath(str(tmp_path))
+    with open(BENCH_JSON, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    save_table("matching_fastpath.txt", _render(data))
+
+    st = data["matchers"][ST_NAME]
+    fp = st["fastpath"]
+    # The corpus really is low-churn and the identity path fired on it.
+    assert fp["unchanged_fraction"] >= 0.5, fp
+    assert fp["pages_short_circuited"] > 0
+    # Headline: the fast paths cut matcher wall time by >= 2x.
+    assert st["match_speedup"] >= MIN_MATCH_SPEEDUP, \
+        (f"ST match speedup {st['match_speedup']:.2f} < "
+         f"{MIN_MATCH_SPEEDUP}")
+    # UD benefits too (memo + identity path); weaker floor because its
+    # per-call cost is already linear on low-churn diffs.
+    assert data["matchers"][UD_NAME]["match_speedup"] > 1.0

@@ -8,15 +8,16 @@ This benchmark measures pages/sec for the serial backend vs a
 process pool) for No-reuse and Delex on a synthetic DBLife corpus,
 and emits a machine-readable ``BENCH_runtime.json`` at the repo root.
 
-Skipped on machines with fewer than 4 CPUs: there is no parallel
-speedup to measure there.
+On machines with fewer than 4 CPUs there is no parallel speedup to
+measure; the benchmark still runs and records the numbers, but each
+verdict is ``degraded_ok`` instead of ``ok`` and the speedup floors
+are not enforced (``cpu_count`` is part of the JSON so downstream
+tooling can tell the two apart).
 """
 
 import json
 import os
 import tempfile
-
-import pytest
 
 from conftest import save_table
 
@@ -109,15 +110,42 @@ def _render(data):
     return "\n".join(lines) + "\n"
 
 
-@pytest.mark.skipif((os.cpu_count() or 1) < JOBS,
-                    reason=f"needs >= {JOBS} CPUs for a speedup to exist")
+def _verdicts(data):
+    """Per-system speedup verdicts, honest about the hardware.
+
+    ``ok``: the machine has at least ``jobs`` CPUs and the system met
+    its speedup floor. ``degraded_ok``: fewer CPUs than workers, so a
+    speedup cannot be expected — numbers are recorded, floors are not
+    enforced. ``fail``: enough CPUs, floor missed.
+    """
+    cpus = data["cpu_count"] or 1
+    verdicts = {}
+    for name, row in data["systems"].items():
+        if cpus < data["jobs"]:
+            verdicts[name] = "degraded_ok"
+            continue
+        if name == "noreuse":
+            passed = row["speedup"] >= NOREUSE_MIN_SPEEDUP
+        else:
+            passed = row["speedup"] > 0.0
+        verdicts[name] = "ok" if passed else "fail"
+    return verdicts
+
+
 def test_runtime_scaling(benchmark):
     data = benchmark.pedantic(run_runtime_scaling, rounds=1, iterations=1)
+    data["verdicts"] = _verdicts(data)
     with open(BENCH_JSON, "w", encoding="utf-8") as f:
         json.dump(data, f, indent=2, sort_keys=True)
         f.write("\n")
     save_table("runtime_scaling.txt", _render(data))
 
+    assert "fail" not in data["verdicts"].values(), data["verdicts"]
+    if (os.cpu_count() or 1) < JOBS:
+        # Too few CPUs for a speedup to exist; the JSON records the
+        # degraded verdicts and the floors below don't apply.
+        assert set(data["verdicts"].values()) == {"degraded_ok"}
+        return
     noreuse = data["systems"]["noreuse"]
     assert noreuse["parallel"]["backend"] == "process"
     # From-scratch extraction is embarrassingly parallel: 4 workers

@@ -102,7 +102,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with tempfile.TemporaryDirectory() as workdir:
         reports = run_series(task, snapshots, systems=systems,
                              workdir=workdir, jobs=args.jobs,
-                             backend=args.backend)
+                             backend=args.backend,
+                             fastpath=args.fastpath)
     problems = verify_agreement(reports) if "noreuse" in systems else []
     print(f"task {task.name} over {len(snapshots)} snapshots "
           f"({len(snapshots[0])} pages each)\n")
@@ -125,6 +126,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             runtime = reports[s].snapshots[-1].timings.runtime
             print(f"  {s:<9} "
                   f"{runtime.describe() if runtime else 'serial'}")
+    fastpath_lines = []
+    for s in systems:
+        fp = reports[s].snapshots[-1].timings.fastpath
+        if fp is not None and fp.pages_paired:
+            fastpath_lines.append(f"  {s:<9} {fp.describe()}")
+    if fastpath_lines:
+        print("\nfastpath (last snapshot):")
+        for line in fastpath_lines:
+            print(line)
     if "noreuse" in systems:
         print("\nresult agreement:",
               "OK" if not problems else f"MISMATCH {problems[:3]}")
@@ -207,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("auto", "serial", "thread", "process"),
                      help="executor backend; auto picks by blackbox "
                           "cost (default auto)")
+    run.add_argument("--fastpath", default="on", choices=("on", "off"),
+                     help="snapshot-delta fast paths (page "
+                          "fingerprinting, match memoization, automaton "
+                          "cache, reuse-file index) for the reusing "
+                          "systems; results are identical either way "
+                          "(default on)")
 
     report = sub.add_parser("report",
                             help="print all rendered benchmark tables")

@@ -27,6 +27,9 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..corpus.snapshot import Snapshot
+from ..fastpath.config import FastPathConfig
+from ..fastpath.fingerprint import pages_identical
+from ..fastpath.stats import FastPathStats
 from ..matchers.base import DN_NAME, ST_NAME, UD_NAME, MatchCache
 from ..matchers.registry import make_matcher
 from ..plan.compile import CompiledPlan
@@ -36,6 +39,7 @@ from ..reuse.files import (
     OutputTuple,
     ReuseFileReader,
     ReuseFileWriter,
+    decode_fields,
     encode_fields,
 )
 from ..reuse.regions import dedupe_extensions, derive_reuse, extraction_keep
@@ -54,7 +58,9 @@ _PROGRAM_ITID = 0
 _CyclexState = Tuple[CompiledPlan, int, int, str]
 
 #: One page's work item: ("fresh", page) re-extracts from scratch;
-#: ("pair", page, q_page, prev_rows) recycles from the old version.
+#: ("pair", page, q_page, prev_rows) recycles from the old version;
+#: ("copy", page, prev_rows) wholesale-recycles a byte-identical page
+#: (the fingerprint fast path — no matching, no extraction).
 _WorkItem = Tuple
 
 
@@ -129,6 +135,20 @@ def _cyclex_batch_worker(state: _CyclexState,
         if item[0] == "fresh":
             _, page = item
             out.append(run_page_plain(plan, page, timer))
+        elif item[0] == "copy":
+            # Byte-identical page: the slow path's full-page match
+            # yields one full-page copy zone and no extraction
+            # regions, so its output per relation is exactly
+            # ``dedupe_extensions(decoded previous rows)``. Reproduce
+            # that directly without running the matcher.
+            _, page, prev_rows = item
+            with timer.measure(COPY):
+                page_rows = {
+                    rel: dedupe_extensions(
+                        [decode_fields(o.fields, page.did)
+                         for o in prev_rows.get(rel, [])])
+                    for rel in plan.program.head_relations()}
+            out.append(page_rows)
         else:
             _, page, q_page, prev_rows = item
             out.append(_process_pair(plan, alpha, beta, matcher,
@@ -145,7 +165,9 @@ class CyclexSystem:
                  program_alpha: int, program_beta: int,
                  probe_pages: int = 6,
                  executor: Optional[Executor] = None,
-                 scheduler: Optional[PageScheduler] = None) -> None:
+                 scheduler: Optional[PageScheduler] = None,
+                 fastpath: Optional[FastPathConfig] = None,
+                 fixed_matcher: Optional[str] = None) -> None:
         self.plan = plan
         self.workdir = workdir
         self.alpha = program_alpha
@@ -153,6 +175,11 @@ class CyclexSystem:
         self.probe_pages = probe_pages
         self.executor = executor if executor is not None else SerialExecutor()
         self.scheduler = scheduler if scheduler is not None else PageScheduler()
+        self.fastpath = FastPathConfig.from_flag(fastpath)
+        # Pin the per-snapshot matcher choice (skips the timing-based
+        # probe, whose winner is machine-dependent) — lets parity tests
+        # compare two runs byte-for-byte.
+        self.fixed_matcher = fixed_matcher
         os.makedirs(workdir, exist_ok=True)
         self._prev_dir: Optional[str] = None
         self._snapshot_serial = 0
@@ -240,6 +267,7 @@ class CyclexSystem:
         results: Dict[str, list] = {rel: [] for rel in relations}
         pages = snapshot.canonical_pages()
         pages_with_prev = 0
+        fp_stats = FastPathStats()
         wall_seconds = 0.0
         batches: list = []
         timed: List[Tuple[float, object]] = []
@@ -247,9 +275,19 @@ class CyclexSystem:
             with timer.measure_total():
                 matcher_name = DN_NAME
                 if prev_snapshot is not None and readers:
-                    matcher_name = self._choose_matcher(snapshot,
-                                                        prev_snapshot, timer)
+                    if self.fixed_matcher is not None:
+                        matcher_name = self.fixed_matcher
+                    else:
+                        matcher_name = self._choose_matcher(
+                            snapshot, prev_snapshot, timer)
                 self.last_matcher = matcher_name
+                # The unchanged-page short circuit is only safe when
+                # the slow path is guaranteed a full-page self-match:
+                # UD always produces one, ST only on pages at least
+                # ``min_length`` long (shorter ones fall through).
+                min_length = max(8, min(2 * self.beta + 2, 32))
+                identity_ok = (self.fastpath.want("unchanged_page")
+                               and matcher_name in (UD_NAME, ST_NAME))
                 # Phase 1 (parent, canonical order): pair pages with
                 # their previous versions and stream the previous
                 # result files sequentially.
@@ -265,11 +303,22 @@ class CyclexSystem:
                             self._skip_groups(readers, page.did, timer)
                         work[page.did] = ("fresh", page)
                         continue
+                    fp_stats.pages_paired += 1
                     prev_rows: Dict[str, List[OutputTuple]] = {}
                     for rel, reader in readers.items():
                         with timer.measure(IO):
                             prev_rows[rel] = reader.read_page_outputs(
                                 page.did)
+                    threshold = (min_length if matcher_name == ST_NAME
+                                 else 1)
+                    if (identity_ok and len(page.text) >= threshold
+                            and pages_identical(page, q_page)):
+                        fp_stats.pages_short_circuited += 1
+                        fp_stats.matcher_calls_avoided += 1
+                        fp_stats.tuples_recycled += sum(
+                            len(rows) for rows in prev_rows.values())
+                        work[page.did] = ("copy", page, prev_rows)
+                        continue
                     work[page.did] = ("pair", page, q_page, prev_rows)
                 # Phase 2: per-page match/copy/extract on the runtime.
                 batches = self.scheduler.plan(pages, self.executor.jobs)
@@ -300,6 +349,7 @@ class CyclexSystem:
         timings.runtime = build_metrics(
             self.executor.name, self.executor.jobs, wall_seconds,
             batches, [s for s, _ in timed])
+        timings.fastpath = fp_stats
         self._prev_dir = out_dir
         self._snapshot_serial += 1
         return SnapshotRunResult(results=results, timings=timings,

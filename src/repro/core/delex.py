@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask
+from ..fastpath.config import FastPathConfig
 from ..optimizer.search import SearchResult, search_plan
 from ..optimizer.stats import collect_statistics
 from ..plan.compile import CompiledPlan, compile_program
@@ -42,11 +43,13 @@ class DelexSystem:
                  capture_history: int = 2,
                  scope: Optional["PageMatchScope"] = None,
                  executor: Optional[Executor] = None,
-                 scheduler: Optional[PageScheduler] = None) -> None:
+                 scheduler: Optional[PageScheduler] = None,
+                 fastpath: Optional[FastPathConfig] = None) -> None:
         self.task = task
         self.workdir = workdir
         self.executor = executor
         self.scheduler = scheduler
+        self.fastpath = FastPathConfig.from_flag(fastpath)
         os.makedirs(workdir, exist_ok=True)
         self.plan: CompiledPlan = compile_program(task.program,
                                                   task.registry)
@@ -127,7 +130,8 @@ class DelexSystem:
         self.last_assignment = assignment
         engine = ReuseEngine(self.plan, self.units, assignment,
                              scope=self.scope, executor=self.executor,
-                             scheduler=self.scheduler)
+                             scheduler=self.scheduler,
+                             fastpath=self.fastpath)
         out_dir = self._out_dir()
         result = engine.run_snapshot(
             snapshot,

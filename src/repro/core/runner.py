@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask, make_task
+from ..fastpath.config import FastPathConfig
 from ..plan.compile import compile_program
 from ..reuse.engine import PlanAssignment, SnapshotRunResult
 from ..runtime.executor import Executor, make_executor
@@ -56,11 +57,17 @@ def resolve_executor(task: IETask, executor: Optional[Executor] = None,
 
 def make_system(name: str, task: IETask, workdir: str,
                 executor: Optional[Executor] = None, jobs: int = 1,
-                backend: str = "auto", **kwargs):
+                backend: str = "auto",
+                fastpath: Optional[FastPathConfig] = None, **kwargs):
     """Instantiate one of the four systems for a task.
 
     ``executor`` (or ``jobs``/``backend``) selects the execution
     runtime the system's page loop runs on; the default is serial.
+    ``fastpath`` configures the snapshot-delta fast paths of the
+    reusing systems (cyclex/delex); it accepts a
+    :class:`~repro.fastpath.config.FastPathConfig` or the CLI strings
+    ``"on"``/``"off"`` and defaults to on. The non-reusing baselines
+    ignore it (they never pair pages).
     """
     plan = compile_program(task.program, task.registry)
     executor = resolve_executor(task, executor, jobs, backend)
@@ -72,10 +79,10 @@ def make_system(name: str, task: IETask, workdir: str,
     if name == "cyclex":
         return CyclexSystem(plan, os.path.join(workdir, "cyclex"),
                             task.program_alpha, task.program_beta,
-                            executor=executor, **kwargs)
+                            executor=executor, fastpath=fastpath, **kwargs)
     if name == "delex":
         return DelexSystem(task, os.path.join(workdir, "delex"),
-                           executor=executor, **kwargs)
+                           executor=executor, fastpath=fastpath, **kwargs)
     raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
 
 
@@ -133,14 +140,17 @@ def run_series(task: IETask, snapshots: Sequence[Snapshot],
                system_kwargs: Optional[Dict[str, dict]] = None,
                executor: Optional[Executor] = None,
                jobs: int = 1, backend: str = "auto",
+               fastpath: Optional[FastPathConfig] = None,
                ) -> Dict[str, SeriesReport]:
     """Run the requested systems over consecutive snapshots.
 
     Every system sees the snapshots in the same order; the first
     snapshot is the bootstrap. ``executor`` (or ``jobs``/``backend``)
     selects the execution runtime shared by all systems in the run;
-    results are backend-independent by construction. Returns one
-    :class:`SeriesReport` per system.
+    results are backend-independent by construction. ``fastpath``
+    configures the snapshot-delta fast paths of the reusing systems
+    (default on); results are fast-path-independent by construction
+    too. Returns one :class:`SeriesReport` per system.
     """
     own_dir = workdir is None
     workdir = workdir or tempfile.mkdtemp(prefix="repro_run_")
@@ -151,7 +161,7 @@ def run_series(task: IETask, snapshots: Sequence[Snapshot],
         for system_name in systems:
             instance = make_system(system_name, task,
                                    os.path.join(workdir, system_name),
-                                   executor=executor,
+                                   executor=executor, fastpath=fastpath,
                                    **system_kwargs.get(system_name, {}))
             report = SeriesReport(system=system_name, task=task.name)
             prev: Optional[Snapshot] = None
@@ -228,6 +238,38 @@ def verify_serial_parallel(task: IETask, snapshots: Sequence[Snapshot],
                     "differ")
     problems.extend(verify_agreement(serial))
     problems.extend(f"parallel: {p}" for p in verify_agreement(parallel))
+    return problems
+
+
+def verify_fastpath(task: IETask, snapshots: Sequence[Snapshot],
+                    systems: Sequence[str] = SYSTEM_NAMES,
+                    system_kwargs: Optional[Dict[str, dict]] = None,
+                    jobs: int = 1, backend: str = "auto") -> List[str]:
+    """Theorem 1, fast-path edition: fastpath on == fastpath off.
+
+    Runs every requested system twice over the same snapshots — once
+    with the snapshot-delta fast paths enabled, once disabled — and
+    reports any snapshot whose canonical results differ, plus the
+    usual cross-system agreement problems of both runs. The fast
+    paths are behaviour-preserving by design; this harness is the
+    executable statement of that claim.
+    """
+    fast = run_series(task, snapshots, systems=systems, jobs=jobs,
+                      backend=backend, system_kwargs=system_kwargs,
+                      fastpath=FastPathConfig.on())
+    slow = run_series(task, snapshots, systems=systems, jobs=jobs,
+                      backend=backend, system_kwargs=system_kwargs,
+                      fastpath=FastPathConfig.off())
+    problems: List[str] = []
+    for name in systems:
+        for f_snap, s_snap in zip(fast[name].snapshots,
+                                  slow[name].snapshots):
+            if f_snap.results != s_snap.results:
+                problems.append(
+                    f"{name} snapshot {f_snap.snapshot_index}: fastpath "
+                    "on and off results differ")
+    problems.extend(f"fast: {p}" for p in verify_agreement(fast))
+    problems.extend(f"slow: {p}" for p in verify_agreement(slow))
     return problems
 
 

@@ -88,8 +88,12 @@ class Snapshot:
 def write_snapshot(snapshot: Snapshot, path: str) -> None:
     """Persist a snapshot as one sequential file of page records.
 
-    Each record is a JSON header line ``{"did", "url", "nbytes"}``
+    Each record is a JSON header line ``{"did", "url", "nbytes", "fp"}``
     followed by exactly ``nbytes`` of UTF-8 page text and a newline.
+    ``fp`` is the page's blake2 content fingerprint
+    (:func:`repro.text.document.content_fingerprint`); persisting it
+    lets the fast-path layer detect unchanged pages without hashing
+    page bodies at load time.
     """
     tmp = path + ".tmp"
     with open(tmp, "wb") as f:
@@ -98,7 +102,8 @@ def write_snapshot(snapshot: Snapshot, path: str) -> None:
         f.write(b"\n")
         for page in snapshot:
             body = page.text.encode("utf-8")
-            header = {"did": page.did, "url": page.url, "nbytes": len(body)}
+            header = {"did": page.did, "url": page.url, "nbytes": len(body),
+                      "fp": page.fingerprint}
             f.write(json.dumps(header).encode("utf-8"))
             f.write(b"\n")
             f.write(body)
@@ -117,7 +122,8 @@ def iter_snapshot_pages(path: str) -> Iterator[Page]:
             header = json.loads(line)
             body = f.read(header["nbytes"]).decode("utf-8")
             f.read(1)  # trailing newline
-            yield Page(did=header["did"], url=header["url"], text=body)
+            yield Page(did=header["did"], url=header["url"], text=body,
+                       fp=header.get("fp", ""))
 
 
 def read_snapshot(path: str) -> Snapshot:

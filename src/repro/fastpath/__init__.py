@@ -1,0 +1,52 @@
+"""Snapshot-delta fast paths (extension).
+
+Delex's per-snapshot cost is dominated by region matching and blackbox
+re-extraction, yet slowly-evolving corpora are mostly *unchanged*
+pages: the opportunity that differential view-maintenance work
+formalizes. This package adds behaviour-preserving shortcuts threaded
+through corpus, matchers, reuse engine, runtime, and timing:
+
+* **Page fingerprints** (:mod:`.fingerprint`) — blake2 content hashes
+  persisted in snapshot metadata. Fingerprint-equal page pairs
+  short-circuit to a whole-page identity match: all units' recorded
+  tuples are recycled wholesale, with no matcher run and no region
+  derivation.
+* **Cross-unit match memo** (:class:`.memo.MatchMemo`) — keyed by
+  (page pair, matcher, p-region, q-region), so every IE unit in a
+  chain that matches the same region pair pays the diff exactly once
+  per snapshot transition. Distinct from the RU
+  :class:`~repro.matchers.base.MatchCache`, which stores *found
+  segments* for recycling by a different matcher; the memo stores the
+  full match result for an exact repeat of the same call.
+* **Suffix-automaton cache** (:class:`.memo.AutomatonCache`) — the ST
+  matcher's per-(page, q-region) automaton is built once per page pair
+  and reused across input rows and units.
+* **Indexed reuse-file reader**
+  (:class:`.reader_index.IndexedReuseFileReader`) — an in-memory
+  page-offset index enabling O(1) group seeks when the page-matching
+  scope pairs pages out of order, replacing whole-file
+  materialization.
+
+Every fast path is behaviour-preserving: with ``--fastpath on`` the
+engine produces byte-identical reuse files and identical extraction
+results to ``--fastpath off`` (the same bar as the runtime's
+serial/parallel parity). Hit/miss counters are reported through
+:class:`.stats.FastPathStats` on
+:class:`~repro.timing.Timings.fastpath`.
+"""
+
+from .config import FastPathConfig
+from .fingerprint import content_fingerprint, pages_identical
+from .memo import AutomatonCache, MatchMemo
+from .reader_index import IndexedReuseFileReader
+from .stats import FastPathStats
+
+__all__ = [
+    "AutomatonCache",
+    "FastPathConfig",
+    "FastPathStats",
+    "IndexedReuseFileReader",
+    "MatchMemo",
+    "content_fingerprint",
+    "pages_identical",
+]

@@ -1,0 +1,90 @@
+"""Fast-path feature flags.
+
+One frozen config object selects which snapshot-delta fast paths a run
+uses. ``FastPathConfig.on()`` (the default everywhere) enables all of
+them; ``FastPathConfig.off()`` reproduces the pre-fast-path engine
+exactly. Individual features can be toggled for ablations; all of them
+are behaviour-preserving, so any combination yields byte-identical
+reuse files and results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class FastPathConfig:
+    """Which snapshot-delta fast paths are active.
+
+    Attributes:
+        enabled: master switch; False behaves as if every feature
+            flag were off.
+        unchanged_page: fingerprint-equal page pairs short-circuit to
+            a whole-page identity match (wholesale tuple recycling).
+        match_memo: memoize (matcher, p-region, q-region) calls within
+            a page pair so chained units pay each diff once.
+        automaton_cache: reuse ST's suffix automaton per (page pair,
+            q-region) across rows and units.
+        reader_index: serve out-of-order page-matching scopes from an
+            offset-indexed reuse-file reader instead of materializing
+            whole files in memory.
+    """
+
+    enabled: bool = True
+    unchanged_page: bool = True
+    match_memo: bool = True
+    automaton_cache: bool = True
+    reader_index: bool = True
+
+    @classmethod
+    def on(cls) -> "FastPathConfig":
+        return cls(enabled=True)
+
+    @classmethod
+    def off(cls) -> "FastPathConfig":
+        return cls(enabled=False, unchanged_page=False, match_memo=False,
+                   automaton_cache=False, reader_index=False)
+
+    @classmethod
+    def from_flag(cls, value: Union[None, str, bool, "FastPathConfig"]
+                  ) -> "FastPathConfig":
+        """Parse a CLI-style flag: "on"/"off", bool, None (= on)."""
+        if isinstance(value, FastPathConfig):
+            return value
+        if value is None:
+            return cls.on()
+        if isinstance(value, bool):
+            return cls.on() if value else cls.off()
+        text = str(value).strip().lower()
+        if text in ("on", "true", "1", "yes"):
+            return cls.on()
+        if text in ("off", "false", "0", "no"):
+            return cls.off()
+        raise ValueError(f"invalid fastpath flag {value!r}; use on/off")
+
+    def want(self, feature: str) -> bool:
+        """Is a feature flag active (respecting the master switch)?"""
+        return self.enabled and bool(getattr(self, feature))
+
+    def without(self, feature: str) -> "FastPathConfig":
+        """Copy with one feature disabled (ablation helper)."""
+        return replace(self, **{feature: False})
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "fastpath=off"
+        active = [name for name in ("unchanged_page", "match_memo",
+                                    "automaton_cache", "reader_index")
+                  if getattr(self, name)]
+        return "fastpath=on(" + ",".join(active) + ")"
+
+
+def resolve_fastpath(value: Union[None, str, bool, FastPathConfig],
+                     default: Optional[FastPathConfig] = None
+                     ) -> FastPathConfig:
+    """``from_flag`` with an overridable default for ``None``."""
+    if value is None and default is not None:
+        return default
+    return FastPathConfig.from_flag(value)

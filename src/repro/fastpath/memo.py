@@ -1,0 +1,126 @@
+"""Cross-unit match memoization and suffix-automaton reuse.
+
+Both caches live for exactly one page pair (p, q): the reuse engine
+creates them in ``run_page`` and drops them when the page is done, so
+no invalidation logic is needed — a new snapshot transition simply
+starts from empty caches.
+
+:class:`MatchMemo` memoizes whole matcher calls. Its key is
+(matcher configuration, p-region bounds, q-region bounds); within one
+page pair the texts are fixed, so the key fully determines the match
+result. Every IE unit in a chain that matches the same region pair
+(chained units frequently re-match the regions their producers
+matched) pays the diff exactly once per snapshot transition. Only the
+stateless matchers (ST, UD, WS) are memoized: RU's result depends on
+the mutable :class:`~repro.matchers.base.MatchCache` and DN never
+matches, so both always delegate.
+
+:class:`AutomatonCache` is finer-grained: when the same q-region is
+matched against *different* p-regions (many input rows per unit, or
+sibling units), the ST matcher's suffix automaton over the q-region is
+identical each time; building it dominates ST's cost, so it is built
+once and reused.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..matchers.base import Matcher
+from ..matchers.st import SuffixAutomaton
+from ..text.regions import MatchSegment
+from ..text.span import Interval
+from .stats import FastPathStats
+
+#: Matchers whose ``match`` is a pure function of (texts, regions,
+#: config) — safe to memoize per page pair.
+MEMOIZABLE = ("ST", "UD", "WS")
+
+#: Configuration attributes that distinguish matcher instances.
+_CONFIG_ATTRS = ("min_length", "max_d", "k", "window", "max_anchors")
+
+
+def matcher_config_key(matcher: Matcher) -> Tuple:
+    """Hashable identity of a matcher's behaviour-relevant config."""
+    return (matcher.name,) + tuple(getattr(matcher, attr, None)
+                                   for attr in _CONFIG_ATTRS)
+
+
+class MatchMemo:
+    """Per-page-pair memo of matcher calls.
+
+    Stores the *untagged* segment list exactly as ``Matcher.match``
+    returned it; replays re-tag with the caller's candidate itid, so a
+    hit is byte-for-byte what the matcher would have produced.
+    """
+
+    def __init__(self, stats: Optional[FastPathStats] = None) -> None:
+        self._memo: Dict[Tuple, List[MatchSegment]] = {}
+        self._cost: Dict[Tuple, float] = {}
+        self.stats = stats if stats is not None else FastPathStats()
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def match_many(self, matcher: Matcher, p_text: str,
+                   p_region: Interval, q_text: str,
+                   candidates: Dict[int, Interval]) -> List[MatchSegment]:
+        """Memoized equivalent of :meth:`Matcher.match_many`.
+
+        Iterates candidates in the caller's order and tags segments
+        with each candidate's itid, exactly like the default
+        ``match_many`` loop — so routing through the memo is
+        observationally identical to calling the matcher directly.
+        """
+        if matcher.name not in MEMOIZABLE:
+            return matcher.match_many(p_text, p_region, q_text, candidates)
+        config = matcher_config_key(matcher)
+        out: List[MatchSegment] = []
+        for itid, q_region in candidates.items():
+            key = (config, p_region.start, p_region.end,
+                   q_region.start, q_region.end)
+            segments = self._memo.get(key)
+            if segments is None:
+                start = time.perf_counter()
+                segments = matcher.match(p_text, p_region, q_text, q_region)
+                self._cost[key] = time.perf_counter() - start
+                self._memo[key] = segments
+                self.stats.memo_misses += 1
+            else:
+                self.stats.memo_hits += 1
+                self.stats.memo_seconds_saved += self._cost.get(key, 0.0)
+            for seg in segments:
+                out.append(replace(seg, q_itid=itid))
+        return out
+
+
+class AutomatonCache:
+    """Per-page-pair cache of ST suffix automata, keyed by q-region.
+
+    Within one page pair the q text is fixed, so the region bounds
+    fully determine the automaton; the stored q-body is verified on
+    every hit anyway (one memcmp — cheap insurance against misuse
+    across page pairs, and far cheaper than rebuilding).
+    """
+
+    def __init__(self, stats: Optional[FastPathStats] = None) -> None:
+        self._cache: Dict[Tuple[int, int], Tuple[str, SuffixAutomaton]] = {}
+        self.stats = stats if stats is not None else FastPathStats()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, q_text: str, q_region: Interval) -> SuffixAutomaton:
+        """The suffix automaton of ``q_text[q_region]``, cached."""
+        key = (q_region.start, q_region.end)
+        body = q_text[q_region.start:q_region.end]
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == body:
+            self.stats.automata_reused += 1
+            return entry[1]
+        sam = SuffixAutomaton(body)
+        self._cache[key] = (body, sam)
+        self.stats.automata_built += 1
+        return sam

@@ -1,0 +1,68 @@
+"""Offset-indexed reuse-file reading for out-of-order page scopes.
+
+:class:`~repro.reuse.files.ReuseFileReader` is strictly sequential:
+page groups must be requested in written order. Scopes that pair pages
+across URLs (:class:`~repro.reuse.scope.FingerprintScope`) request
+groups in arbitrary order, which previously forced the engine to
+materialize whole reuse files in memory
+(:func:`~repro.reuse.files.load_reuse_file`). The indexed reader
+instead scans the file once at open time to build an in-memory
+``did -> byte offset`` index of page markers (a few dozen bytes per
+page instead of the decoded tuples), then serves any-order
+``seek_page`` calls with one ``seek`` — O(1) per group, O(pages)
+memory.
+
+``bytes_read`` counts every byte actually read from the file — the
+index-building scan plus each group read — so the block-based I/O
+cost model stays honest about the extra pass.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..reuse.files import ReuseFileReader, ReuseFileWriter
+
+
+class IndexedReuseFileReader(ReuseFileReader):
+    """Random-access page-group reader over a page offset index."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._index: Dict[str, int] = {}
+        self.seeks = 0
+        self._build_index()
+
+    def _build_index(self) -> None:
+        """One sequential scan: record each page marker's end offset.
+
+        The stored offset points just *past* the marker line, so a
+        seek lands directly on the group's first tuple record.
+        """
+        assert self._file is not None
+        marker_prefix = b'{"' + ReuseFileWriter.PAGE_MARKER.encode("ascii")
+        offset = 0
+        for line in self._file:
+            offset += len(line)
+            if line.startswith(marker_prefix):
+                record = json.loads(line)
+                did = record.get(ReuseFileWriter.PAGE_MARKER)
+                if did is not None:
+                    self._index[did] = offset
+        self.bytes_read += offset
+        self._file.seek(0)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def seek_page(self, did: str) -> bool:
+        """Jump to the page group for ``did``; any order allowed."""
+        offset = self._index.get(did)
+        if offset is None or self._file is None:
+            return False
+        self._pushback = None
+        self._exhausted = False
+        self._file.seek(offset)
+        self.seeks += 1
+        return True

@@ -1,0 +1,87 @@
+"""Fast-path hit/miss accounting.
+
+Mirrors :class:`~repro.runtime.metrics.RuntimeMetrics`: a small
+mutable counter bundle attached to :class:`~repro.timing.Timings`
+(``timings.fastpath``) so every system's per-snapshot report carries
+how much work its fast paths avoided. Counters merge across parallel
+workers exactly like :class:`~repro.reuse.engine.UnitRunStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class FastPathStats:
+    """Counters for one snapshot run's fast-path activity."""
+
+    #: page pairs considered (q version existed).
+    pages_paired: int = 0
+    #: fingerprint-equal pages that took the whole-page identity path.
+    pages_short_circuited: int = 0
+    #: output tuples recycled wholesale on the identity path.
+    tuples_recycled: int = 0
+    #: matcher invocations skipped by the identity path.
+    matcher_calls_avoided: int = 0
+    #: cross-unit match-memo hits / misses.
+    memo_hits: int = 0
+    memo_misses: int = 0
+    #: matcher seconds not spent thanks to memo hits (measured at the
+    #: miss that populated each entry).
+    memo_seconds_saved: float = 0.0
+    #: suffix automata built vs reused from the per-page-pair cache.
+    automata_built: int = 0
+    automata_reused: int = 0
+    #: O(1) group seeks served by the reuse-file offset index.
+    reader_index_seeks: int = 0
+
+    def merge(self, other: "FastPathStats") -> None:
+        """Accumulate a worker's counters into this one."""
+        self.pages_paired += other.pages_paired
+        self.pages_short_circuited += other.pages_short_circuited
+        self.tuples_recycled += other.tuples_recycled
+        self.matcher_calls_avoided += other.matcher_calls_avoided
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
+        self.memo_seconds_saved += other.memo_seconds_saved
+        self.automata_built += other.automata_built
+        self.automata_reused += other.automata_reused
+        self.reader_index_seeks += other.reader_index_seeks
+
+    @property
+    def memo_hit_rate(self) -> float:
+        calls = self.memo_hits + self.memo_misses
+        return self.memo_hits / calls if calls else 0.0
+
+    @property
+    def unchanged_fraction(self) -> float:
+        if self.pages_paired == 0:
+            return 0.0
+        return self.pages_short_circuited / self.pages_paired
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "pages_paired": self.pages_paired,
+            "pages_short_circuited": self.pages_short_circuited,
+            "tuples_recycled": self.tuples_recycled,
+            "matcher_calls_avoided": self.matcher_calls_avoided,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_hit_rate": self.memo_hit_rate,
+            "memo_seconds_saved": self.memo_seconds_saved,
+            "automata_built": self.automata_built,
+            "automata_reused": self.automata_reused,
+            "reader_index_seeks": self.reader_index_seeks,
+        }
+
+    def describe(self) -> str:
+        return (f"short-circuited {self.pages_short_circuited}/"
+                f"{self.pages_paired} pages, recycled "
+                f"{self.tuples_recycled} tuples, avoided "
+                f"{self.matcher_calls_avoided} matcher calls; memo "
+                f"{self.memo_hits}h/{self.memo_misses}m "
+                f"({self.memo_seconds_saved:.3f}s saved); automata "
+                f"{self.automata_reused} reused/{self.automata_built} "
+                f"built; {self.reader_index_seeks} indexed seeks")

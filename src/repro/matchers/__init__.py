@@ -12,7 +12,7 @@ from .base import (
 from .dn import DNMatcher
 from .registry import make_matcher
 from .ru import RUMatcher
-from .st import STMatcher, SuffixAutomaton
+from .st import STMatcher, SuffixAutomaton, probe_peaks
 from .ud import UDMatcher, myers_lcs_pairs
 from .ws import WS_NAME, WinnowingMatcher, winnow_fingerprints
 
@@ -24,6 +24,7 @@ __all__ = [
     "STMatcher",
     "RUMatcher",
     "SuffixAutomaton",
+    "probe_peaks",
     "myers_lcs_pairs",
     "WinnowingMatcher",
     "winnow_fingerprints",

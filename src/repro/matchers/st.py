@@ -14,7 +14,7 @@ weighs.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..text.regions import MatchSegment
 from ..text.span import Interval
@@ -67,20 +67,69 @@ class SuffixAutomaton:
         self.last = cur
 
 
+def probe_peaks(sam: SuffixAutomaton, p_body: str,
+                min_length: int) -> Iterator[Tuple[int, int, int]]:
+    """Reusable probe path: stream ``p_body`` through a (possibly
+    prebuilt) automaton and yield the match-profile peaks.
+
+    Yields ``(p_end_rel, length, state)`` for every local maximum of
+    the longest-match profile with ``length >= min_length``. Both
+    :meth:`STMatcher.match` and statistics probes (e.g. the optimizer
+    sampling match coverage) share this loop, so a cached automaton
+    can be probed repeatedly without rebuilding or materializing
+    segments.
+    """
+    state = 0
+    length = 0
+    nxt = sam.next
+    link = sam.link
+    lengths = sam.length
+    prev_len = 0
+    for i, ch in enumerate(p_body):
+        if ch in nxt[state]:
+            state = nxt[state][ch]
+            length += 1
+        else:
+            # The peak that just ended at i - 1.
+            if prev_len >= min_length:
+                yield (i - 1, prev_len, state)
+            while state != -1 and ch not in nxt[state]:
+                state = link[state]
+            if state == -1:
+                state = 0
+                length = 0
+            else:
+                length = lengths[state] + 1
+                state = nxt[state][ch]
+        prev_len = length
+    if prev_len >= min_length:
+        yield (len(p_body) - 1, prev_len, state)
+
+
 class STMatcher(Matcher):
     """All-maximal-common-substring matcher via a suffix automaton.
 
     ``min_length`` suppresses matches too short to enable any reuse
     (a match shorter than ``2β + 1`` has an empty copy zone for every
     unit); the engine picks it per unit from the unit's β.
+
+    ``automatons``, when given, is a per-page-pair cache with a
+    ``get(q_text, q_region) -> SuffixAutomaton`` method (see
+    :class:`repro.fastpath.memo.AutomatonCache`): building the
+    automaton dominates ST's cost, and within one page pair the same
+    q-region recurs across input rows and units, so a cached automaton
+    is reused instead of rebuilt. The automaton is read-only after
+    construction, so reuse is behaviour-preserving by construction.
     """
 
     name = ST_NAME
 
-    def __init__(self, min_length: int = 12) -> None:
+    def __init__(self, min_length: int = 12,
+                 automatons: Optional[object] = None) -> None:
         if min_length < 1:
             raise ValueError("min_length must be >= 1")
         self.min_length = min_length
+        self.automatons = automatons
 
     def match(self, p_text: str, p_region: Interval,
               q_text: str, q_region: Interval) -> List[MatchSegment]:
@@ -88,43 +137,15 @@ class STMatcher(Matcher):
         p_body = p_text[p_region.start:p_region.end]
         if not q_body or not p_body:
             return []
-        sam = SuffixAutomaton(q_body)
-        segments: List[MatchSegment] = []
-        state = 0
-        length = 0
-        nxt = sam.next
-        link = sam.link
-        lengths = sam.length
+        if self.automatons is not None:
+            sam = self.automatons.get(q_text, q_region)
+        else:
+            sam = SuffixAutomaton(q_body)
         first_end = sam.first_end
-        prev_len = 0
-        for i, ch in enumerate(p_body):
-            if ch in nxt[state]:
-                state = nxt[state][ch]
-                length += 1
-            else:
-                # Emit the peak that just ended at i - 1.
-                if prev_len >= self.min_length:
-                    self._emit(segments, i - 1, prev_len, state,
-                               first_end, p_region, q_region)
-                while state != -1 and ch not in nxt[state]:
-                    state = link[state]
-                if state == -1:
-                    state = 0
-                    length = 0
-                else:
-                    length = lengths[state] + 1
-                    state = nxt[state][ch]
-            prev_len = length
-        if prev_len >= self.min_length:
-            self._emit(segments, len(p_body) - 1, prev_len, state,
-                       first_end, p_region, q_region)
+        segments: List[MatchSegment] = []
+        for p_end_rel, length, state in probe_peaks(sam, p_body,
+                                                    self.min_length):
+            p_start = p_region.start + p_end_rel - length + 1
+            q_start = q_region.start + first_end[state] - length + 1
+            segments.append(MatchSegment(p_start, q_start, length))
         return segments
-
-    @staticmethod
-    def _emit(segments: List[MatchSegment], p_end_rel: int, length: int,
-              state: int, first_end: List[int], p_region: Interval,
-              q_region: Interval) -> None:
-        q_end_rel = first_end[state]
-        p_start = p_region.start + p_end_rel - length + 1
-        q_start = q_region.start + q_end_rel - length + 1
-        segments.append(MatchSegment(p_start, q_start, length))

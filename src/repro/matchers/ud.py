@@ -33,6 +33,15 @@ def myers_lcs_pairs(a: Sequence[str], b: Sequence[str],
                     max_d: int = 0) -> List[Tuple[int, int]]:
     """Matched index pairs of an LCS of ``a`` and ``b`` (Myers O(ND)).
 
+    The common prefix and suffix are stripped before the O(ND) search
+    — the classic diff shrink: real diffs of evolving pages touch a
+    few lines in the middle, so the quadratic part runs on a fraction
+    of the input. The prefix/suffix lines are always part of *an* LCS,
+    so the result length is still optimal (tie-breaks among equal-size
+    LCSs may differ from an untrimmed run, which is why the trim is
+    unconditional rather than flag-gated: every caller sees the same
+    alignment).
+
     ``max_d`` caps the edit distance explored; 0 means unlimited. When
     the cap is hit the common prefix/suffix alone is returned —
     trading completeness for time exactly like a real diff tool under
@@ -41,6 +50,27 @@ def myers_lcs_pairs(a: Sequence[str], b: Sequence[str],
     n, m = len(a), len(b)
     if n == 0 or m == 0:
         return []
+    pre = 0
+    while pre < n and pre < m and a[pre] == b[pre]:
+        pre += 1
+    suf = 0
+    while (suf < n - pre and suf < m - pre
+           and a[n - 1 - suf] == b[m - 1 - suf]):
+        suf += 1
+    pairs: List[Tuple[int, int]] = [(i, i) for i in range(pre)]
+    mid_a, mid_b = a[pre:n - suf], b[pre:m - suf]
+    if mid_a and mid_b:
+        pairs.extend((x + pre, y + pre)
+                     for x, y in _myers_core(mid_a, mid_b, max_d))
+    pairs.extend((n - suf + t, m - suf + t) for t in range(suf))
+    return pairs
+
+
+def _myers_core(a: Sequence[str], b: Sequence[str],
+                max_d: int) -> List[Tuple[int, int]]:
+    """The O(ND) search proper, on sequences with no common prefix or
+    suffix (``myers_lcs_pairs`` guarantees that)."""
+    n, m = len(a), len(b)
     limit = max_d if max_d > 0 else n + m
     # v[k] = furthest x reached on diagonal k; trace snapshots v at the
     # start of each d round so the path can be reconstructed.
@@ -90,17 +120,27 @@ def myers_lcs_pairs(a: Sequence[str], b: Sequence[str],
 
 def _prefix_suffix_pairs(a: Sequence[str],
                          b: Sequence[str]) -> List[Tuple[int, int]]:
+    """Common-prefix plus common-suffix pairs (the capped-``max_d``
+    fallback), guaranteed monotone and non-overlapping.
+
+    The suffix walk is explicitly capped at ``min(len) - prefix`` so
+    it can never reclaim an index the prefix walk already claimed (in
+    either sequence) — without the cap, inputs like ``aa`` vs ``a``
+    would pair the same element twice and emit crossing pairs. Every
+    suffix index is therefore >= the prefix length in both
+    coordinates, which makes the concatenation strictly increasing in
+    both coordinates with no sort needed.
+    """
     pairs: List[Tuple[int, int]] = []
     i = 0
     while i < len(a) and i < len(b) and a[i] == b[i]:
         pairs.append((i, i))
         i += 1
     j = 0
-    while (j < len(a) - i and j < len(b) - i
-           and a[len(a) - 1 - j] == b[len(b) - 1 - j]):
-        pairs.append((len(a) - 1 - j, len(b) - 1 - j))
+    max_j = min(len(a), len(b)) - i  # hard bound: stay clear of the prefix
+    while j < max_j and a[len(a) - 1 - j] == b[len(b) - 1 - j]:
         j += 1
-    pairs.sort()
+    pairs.extend((len(a) - j + t, len(b) - j + t) for t in range(j))
     return pairs
 
 

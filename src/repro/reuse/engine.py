@@ -35,8 +35,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..corpus.snapshot import Snapshot
+from ..fastpath.config import FastPathConfig
+from ..fastpath.fingerprint import pages_identical
+from ..fastpath.memo import AutomatonCache, MatchMemo
+from ..fastpath.stats import FastPathStats
 from ..matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME, MatchCache
 from ..matchers.registry import make_matcher
+from ..matchers.ws import WS_NAME
 from ..plan.compile import CompiledPlan
 from ..plan.operators import (
     IENode,
@@ -69,6 +74,7 @@ from .files import (
     OutputTuple,
     ReuseFileReader,
     ReuseFileWriter,
+    decode_fields,
     encode_fields,
     group_outputs_by_input,
     load_reuse_file,
@@ -180,22 +186,39 @@ class PageEvaluator:
     """
 
     def __init__(self, plan: CompiledPlan, units: List[IEUnit],
-                 assignment: PlanAssignment) -> None:
+                 assignment: PlanAssignment,
+                 fastpath: Optional[FastPathConfig] = None) -> None:
         self.plan = plan
         self.units = units
         self.assignment = assignment
+        self.fastpath = FastPathConfig.from_flag(fastpath)
         self._unit_of_top = units_by_top(units)
+        self._identity_safe = self._compute_identity_safe()
+
+    def _compute_identity_safe(self) -> bool:
+        """Can the unchanged-page identity path fire on this plan?
+
+        RU units replay the segments ST/UD units recorded in the page
+        pair's :class:`MatchCache`; the identity path skips those
+        matcher runs, so the cache an RU unit would see differs from
+        the slow path's. With any RU unit assigned, the identity path
+        is disabled for the whole plan (the memo and automaton cache
+        stay active — they reproduce the matchers' exact output, so
+        the cache contents are unchanged).
+        """
+        return RU_NAME not in self.assignment.matchers.values()
 
     # ``units_by_top`` keys on ``id(node)``; raw object ids are stale
     # after a pickle round-trip, so rebuild the map on unpickle (node
     # identity between plan and units is preserved within one payload).
     def __getstate__(self) -> Dict[str, object]:
         return {"plan": self.plan, "units": self.units,
-                "assignment": self.assignment}
+                "assignment": self.assignment, "fastpath": self.fastpath}
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.__dict__.update(state)
         self._unit_of_top = units_by_top(self.units)  # type: ignore[arg-type]
+        self._identity_safe = self._compute_identity_safe()
 
     def uids(self) -> List[str]:
         return [u.uid for u in self.units]
@@ -205,15 +228,36 @@ class PageEvaluator:
     def run_page(self, page: Page, q_page: Optional[Page],
                  prev_capture: PrevCapture, sink,
                  stats: Dict[str, UnitRunStats], timer: Timer,
-                 cache: Optional[MatchCache] = None
+                 cache: Optional[MatchCache] = None,
+                 fp_stats: Optional[FastPathStats] = None
                  ) -> Dict[str, List[TupleRow]]:
         cache = cache if cache is not None else MatchCache()
-        memo: Dict[int, List[TupleRow]] = {}
+        fp_stats = fp_stats if fp_stats is not None else FastPathStats()
+        node_memo: Dict[int, List[TupleRow]] = {}
+
+        # Per-page-pair fast-path context. The match memo and automaton
+        # cache live exactly as long as one (page, q_page) pair — the
+        # same lifetime as the MatchCache — so keys never need a page
+        # component and stale entries cannot leak across pages.
+        fast = self.fastpath
+        match_memo: Optional[MatchMemo] = None
+        automatons: Optional[AutomatonCache] = None
+        page_identical = False
+        if q_page is not None:
+            fp_stats.pages_paired += 1
+            if fast.want("match_memo"):
+                match_memo = MatchMemo(fp_stats)
+            if fast.want("automaton_cache"):
+                automatons = AutomatonCache(fp_stats)
+            if (fast.want("unchanged_page") and self._identity_safe
+                    and prev_capture and pages_identical(page, q_page)):
+                page_identical = True
+                fp_stats.pages_short_circuited += 1
 
         def evaluate(node: Node) -> List[TupleRow]:
             key = id(node)
-            if key in memo:
-                return memo[key]
+            if key in node_memo:
+                return node_memo[key]
             unit = self._unit_of_top.get(key)
             if unit is not None:
                 child_rows = evaluate(unit.ie_node.child)
@@ -221,7 +265,11 @@ class PageEvaluator:
                     unit.uid, ([], {}))
                 rows = self._run_unit(unit, child_rows, page, q_page,
                                       prev_inputs, prev_outputs, sink,
-                                      cache, stats[unit.uid], timer)
+                                      cache, stats[unit.uid], timer,
+                                      match_memo=match_memo,
+                                      automatons=automatons,
+                                      page_identical=page_identical,
+                                      fp_stats=fp_stats)
             elif isinstance(node, ScanNode):
                 rows = [{node.var: Span(page.did, 0, len(page.text))}]
             elif isinstance(node, SelectNode):
@@ -243,7 +291,7 @@ class PageEvaluator:
                     "unit — unit identification is broken")
             else:
                 raise TypeError(f"unknown node type {type(node).__name__}")
-            memo[key] = rows
+            node_memo[key] = rows
             return rows
 
         return {rel: evaluate(self.plan.roots[rel])
@@ -256,16 +304,21 @@ class PageEvaluator:
                   prev_inputs: List[InputTuple],
                   prev_outputs: Dict[int, List[OutputTuple]],
                   sink, cache: MatchCache, unit_stats: UnitRunStats,
-                  timer: Timer) -> List[TupleRow]:
+                  timer: Timer,
+                  match_memo: Optional[MatchMemo] = None,
+                  automatons: Optional[AutomatonCache] = None,
+                  page_identical: bool = False,
+                  fp_stats: Optional[FastPathStats] = None
+                  ) -> List[TupleRow]:
         matcher_name = self.assignment.of(unit)
         ctx = EvalContext(page.text, page.did)
 
         # A match shorter than 2β + 2 enables no copying, so ST skips
         # such segments — but large-β units (CRFs) still benefit from
         # full-region matches of short regions, hence the cap.
-        matcher = make_matcher(
-            matcher_name, cache,
-            min_length=max(8, min(2 * unit.beta + 2, 32)))
+        min_length = max(8, min(2 * unit.beta + 2, 32))
+        matcher = make_matcher(matcher_name, cache, min_length=min_length,
+                               automatons=automatons)
 
         out_rows: List[TupleRow] = []
         for row in input_rows:
@@ -286,25 +339,64 @@ class PageEvaluator:
                 extraction_regions = [region.interval]
                 derivation = None
             else:
-                candidates = {pi.tid: pi for pi in prev_inputs if pi.c == c}
-                with timer.measure(MATCH):
-                    unit_stats.matcher_calls += len(candidates)
-                    segments: List[MatchSegment] = matcher.match_many(
-                        page.text, region.interval, q_page.text,
-                        {tid: pi.interval
-                         for tid, pi in candidates.items()})
-                    if matcher_name not in (DN_NAME, RU_NAME):
-                        # Fresh matching work (ST/UD/plug-ins like WS)
-                        # is recorded for RU units to recycle.
-                        cache.record(segments)
-                with timer.measure(COPY):
-                    derivation = derive_reuse(
-                        region.interval, page.did, segments, candidates,
-                        prev_outputs, unit.alpha, unit.beta)
-                copied = derivation.copied
-                extraction_regions = derivation.extraction_regions
-                unit_stats.copied_tuples += len(copied)
-                unit_stats.copy_zone_chars += derivation.covered_chars()
+                identity = None
+                if page_identical:
+                    identity = self._identity_candidate(
+                        matcher, matcher_name, min_length, region,
+                        prev_inputs, c)
+                if identity is not None:
+                    # Unchanged-page short circuit: the slow path on a
+                    # byte-identical page pair reduces to copying every
+                    # recorded output of the exact-match candidate with
+                    # shift 0 (full-region copy zone, no extraction
+                    # regions, ``extensions = copied`` untouched).
+                    # Mirror the slow path's counters so the optimizer
+                    # statistics are identical either way.
+                    n_cand = sum(1 for pi in prev_inputs if pi.c == c)
+                    with timer.measure(MATCH):
+                        unit_stats.matcher_calls += n_cand
+                    if fp_stats is not None:
+                        fp_stats.matcher_calls_avoided += n_cand
+                    with timer.measure(COPY):
+                        copied = [decode_fields(out.fields, page.did)
+                                  for out in prev_outputs.get(
+                                      identity.tid, [])]
+                    extraction_regions = []
+                    derivation = None
+                    unit_stats.copied_tuples += len(copied)
+                    unit_stats.copy_zone_chars += len(region)
+                    if fp_stats is not None:
+                        fp_stats.tuples_recycled += len(copied)
+                else:
+                    candidates = {pi.tid: pi for pi in prev_inputs
+                                  if pi.c == c}
+                    with timer.measure(MATCH):
+                        unit_stats.matcher_calls += len(candidates)
+                        cand_regions = {tid: pi.interval
+                                        for tid, pi in candidates.items()}
+                        if (match_memo is not None
+                                and matcher_name not in (DN_NAME, RU_NAME)):
+                            segments: List[MatchSegment] = \
+                                match_memo.match_many(
+                                    matcher, page.text, region.interval,
+                                    q_page.text, cand_regions)
+                        else:
+                            segments = matcher.match_many(
+                                page.text, region.interval, q_page.text,
+                                cand_regions)
+                        if matcher_name not in (DN_NAME, RU_NAME):
+                            # Fresh matching work (ST/UD/plug-ins like
+                            # WS) is recorded for RU units to recycle.
+                            cache.record(segments)
+                    with timer.measure(COPY):
+                        derivation = derive_reuse(
+                            region.interval, page.did, segments,
+                            candidates, prev_outputs, unit.alpha,
+                            unit.beta)
+                    copied = derivation.copied
+                    extraction_regions = derivation.extraction_regions
+                    unit_stats.copied_tuples += len(copied)
+                    unit_stats.copy_zone_chars += derivation.covered_chars()
 
             fresh: List[Dict[str, object]] = []
             for er in extraction_regions:
@@ -348,6 +440,52 @@ class PageEvaluator:
                     out_rows.append({**row, **ext})
         return out_rows
 
+    @staticmethod
+    def _identity_candidate(matcher, matcher_name: str, min_length: int,
+                            region: Span,
+                            prev_inputs: List[InputTuple],
+                            c: str) -> Optional[InputTuple]:
+        """The previous input tuple whose recorded outputs the identity
+        path may recycle wholesale — or None if the slow path must run.
+
+        On a byte-identical page pair the slow path reduces to a pure
+        full-region copy (shift 0, ``extensions = copied``) only when
+        every condition below holds; each guard closes a case where the
+        slow path would produce different bytes:
+
+        * the matcher must emit a *full-region* self-match — UD always
+          does; ST only when ``len(region) >= min_length``; WS only
+          when ``len(region) >= k``. Below the threshold the slow path
+          re-extracts, so fall back (it is cheap there anyway).
+        * an exact-interval candidate with the same ``c`` must exist —
+          otherwise there is nothing to recycle verbatim.
+        * no *earlier* same-``c`` candidate may be at least as long as
+          the region: such a candidate can also yield a length-|R|
+          segment and would win :func:`select_p_disjoint`'s stable
+          tie-break, copying from a different q interval. Later
+          candidates cannot win the tie-break (stable sort, equal key)
+          and shorter ones cannot reach length |R|.
+        """
+        length = region.end - region.start
+        if length <= 0:
+            return None
+        if matcher_name == ST_NAME:
+            if length < min_length:
+                return None
+        elif matcher_name == WS_NAME:
+            if length < getattr(matcher, "k", 12):
+                return None
+        elif matcher_name != UD_NAME:
+            return None
+        for pi in prev_inputs:
+            if pi.c != c:
+                continue
+            if pi.s == region.start and pi.e == region.end:
+                return pi
+            if pi.e - pi.s >= length:
+                return None
+        return None
+
 
 def _engine_batch_worker(evaluator: PageEvaluator, payload):
     """Process one page batch in a (possibly remote) worker.
@@ -359,7 +497,7 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
 
     Returns materialized per-relation rows (canonical page order
     within the batch), the buffered page captures, per-unit stats,
-    and the worker's timing parts.
+    the worker's timing parts, and its fast-path counters.
     """
     pairs, prev_slices = payload
     timings = Timings()
@@ -367,6 +505,7 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
     uids = evaluator.uids()
     sink = BufferedCaptureSink(uids)
     stats = {uid: UnitRunStats() for uid in uids}
+    fp_stats = FastPathStats()
     rel_rows: Dict[str, List[Tuple]] = {
         rel: [] for rel in evaluator.plan.program.head_relations()}
     for page, q_page in pairs:
@@ -379,10 +518,11 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
                     prev_capture[uid] = (
                         entry[0], group_outputs_by_input(entry[1]))
         page_rows = evaluator.run_page(page, q_page, prev_capture, sink,
-                                       stats, timer, cache=MatchCache())
+                                       stats, timer, cache=MatchCache(),
+                                       fp_stats=fp_stats)
         for rel, rows in page_rows.items():
             rel_rows[rel].extend(materialize_rows(rows, page.text))
-    return rel_rows, sink.pages, stats, timings.parts
+    return rel_rows, sink.pages, stats, timings.parts, fp_stats
 
 
 class ReuseEngine:
@@ -392,14 +532,17 @@ class ReuseEngine:
                  assignment: PlanAssignment,
                  scope: Optional[PageMatchScope] = None,
                  executor: Optional[Executor] = None,
-                 scheduler: Optional[PageScheduler] = None) -> None:
+                 scheduler: Optional[PageScheduler] = None,
+                 fastpath: Optional[FastPathConfig] = None) -> None:
         self.plan = plan
         self.units = units
         self.assignment = assignment
         self.scope = scope if scope is not None else SameUrlScope()
         self.executor = executor
         self.scheduler = scheduler if scheduler is not None else PageScheduler()
-        self.evaluator = PageEvaluator(plan, units, assignment)
+        self.fastpath = FastPathConfig.from_flag(fastpath)
+        self.evaluator = PageEvaluator(plan, units, assignment,
+                                       fastpath=self.fastpath)
         missing = [u.uid for u in units if u.uid not in assignment.matchers]
         if missing:
             raise ValueError(f"assignment missing units {missing}")
@@ -433,17 +576,18 @@ class ReuseEngine:
         have_prev = prev_dir is not None and prev_snapshot is not None
         parallel = (self.executor is not None and self.executor.jobs > 1
                     and len(pages) > 1)
+        fp_stats = FastPathStats()
         self.scope.begin_snapshot(prev_snapshot)
         try:
             with timer.measure_total():
                 if parallel:
                     pages_with_prev = self._run_parallel(
                         pages, have_prev, prev_dir, writers, stats,
-                        results, timer)
+                        results, timer, fp_stats)
                 else:
                     pages_with_prev = self._run_serial(
                         pages, have_prev, prev_dir, writers, stats,
-                        results, timer)
+                        results, timer, fp_stats)
         finally:
             for wi, wo in writers.values():
                 wi.close()
@@ -452,6 +596,10 @@ class ReuseEngine:
             wi, wo = writers[u.uid]
             stats[u.uid].i_blocks = wi.blocks
             stats[u.uid].o_blocks = wo.blocks
+        if timings.fastpath is None:
+            timings.fastpath = fp_stats
+        else:
+            timings.fastpath.merge(fp_stats)
         return SnapshotRunResult(results=results, timings=timings,
                                  unit_stats=stats, pages=len(pages),
                                  pages_with_previous=pages_with_prev)
@@ -478,7 +626,13 @@ class ReuseEngine:
                     writers: Dict[str, Tuple[ReuseFileWriter,
                                              ReuseFileWriter]],
                     stats: Dict[str, UnitRunStats],
-                    results: Dict[str, List[Tuple]], timer: Timer) -> int:
+                    results: Dict[str, List[Tuple]], timer: Timer,
+                    fp_stats: FastPathStats) -> int:
+        # Imported here, not at module level: ``fastpath.reader_index``
+        # subclasses ``reuse.files.ReuseFileReader``, whose package in
+        # turn imports this engine module (import cycle otherwise).
+        from ..fastpath.reader_index import IndexedReuseFileReader
+
         readers: Dict[str, Tuple[ReuseFileReader, ReuseFileReader]] = {}
         memory: Optional[Dict[str, Tuple[Dict[str, List[InputTuple]],
                                          Dict[str, List[OutputTuple]]]]] = None
@@ -489,6 +643,15 @@ class ReuseEngine:
                 for uid, (i_path, o_path) in paths.items():
                     readers[uid] = (ReuseFileReader(i_path),
                                     ReuseFileReader(o_path))
+            elif self.fastpath.want("reader_index"):
+                # Cross-URL pairing breaks the sequential access
+                # pattern; an offset index over each reuse file gives
+                # O(1) out-of-order group seeks without materializing
+                # whole files in memory.
+                with timer.measure(IO):
+                    for uid, (i_path, o_path) in paths.items():
+                        readers[uid] = (IndexedReuseFileReader(i_path),
+                                        IndexedReuseFileReader(o_path))
             else:
                 # Cross-URL pairing breaks the sequential access
                 # pattern; trade memory for random access.
@@ -508,11 +671,13 @@ class ReuseEngine:
                                                        memory, timer)
                 page_rows = self.evaluator.run_page(
                     page, q_page, prev_capture, sink, stats, timer,
-                    cache=MatchCache())
+                    cache=MatchCache(), fp_stats=fp_stats)
                 for rel, rows in page_rows.items():
                     results[rel].extend(materialize_rows(rows, page.text))
         finally:
             for ri, ro in readers.values():
+                if isinstance(ri, IndexedReuseFileReader):
+                    fp_stats.reader_index_seeks += ri.seeks + ro.seeks
                 ri.close()
                 ro.close()
         return pages_with_prev
@@ -566,7 +731,7 @@ class ReuseEngine:
                                                ReuseFileWriter]],
                       stats: Dict[str, UnitRunStats],
                       results: Dict[str, List[Tuple]],
-                      timer: Timer) -> int:
+                      timer: Timer, fp_stats: FastPathStats) -> int:
         assert self.executor is not None
         # Pair pages in canonical order in the parent so stateful
         # scopes (fingerprint claims) behave exactly as in a serial run.
@@ -599,7 +764,8 @@ class ReuseEngine:
                                           self.evaluator, payloads)
         wall_seconds = time.perf_counter() - wall_start
         captures = []
-        for seconds, (rel_rows, page_caps, worker_stats, parts) in timed:
+        for seconds, (rel_rows, page_caps, worker_stats, parts,
+                      worker_fp) in timed:
             for rel, rows in rel_rows.items():
                 results[rel].extend(rows)
             captures.extend(page_caps)
@@ -607,6 +773,7 @@ class ReuseEngine:
                 stats[uid].merge(ws)
             for category, secs in parts.items():
                 timer.timings.add(category, secs)
+            fp_stats.merge(worker_fp)
         with timer.measure(IO):
             replay_captures(captures, writers)
         timer.timings.runtime = build_metrics(

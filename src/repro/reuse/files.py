@@ -187,11 +187,18 @@ class ReuseFileWriter:
 
 
 class ReuseFileReader:
-    """Strictly sequential page-group reader of a reuse file."""
+    """Strictly sequential page-group reader of a reuse file.
+
+    Reads in binary mode: ``bytes_read`` counts actual UTF-8 bytes
+    (a text-mode ``len(line)`` counts *characters*, which undercounts
+    multi-byte pages and skews the block-based I/O cost model), and
+    byte offsets stay meaningful for the fast path's offset-indexed
+    subclass (:class:`repro.fastpath.reader_index.IndexedReuseFileReader`).
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._file: Optional[IO[str]] = open(path, "r", encoding="utf-8")
+        self._file: Optional[IO[bytes]] = open(path, "rb")
         self._pushback: Optional[Dict[str, Any]] = None
         self.bytes_read = 0
         self._exhausted = False

@@ -19,6 +19,20 @@ def content_digest(text: str) -> str:
     return hashlib.sha1(text.encode("utf-8")).hexdigest()
 
 
+def content_fingerprint(text: str) -> str:
+    """Fast-path page fingerprint: blake2b-128 over the UTF-8 text.
+
+    Persisted in snapshot page headers (``"fp"``) so fingerprint-equal
+    page pairs can short-circuit to a whole-page identity match
+    without re-hashing (see :mod:`repro.fastpath`). blake2b with a
+    16-byte digest is both faster than sha1 and collision-resistant
+    enough that equality plus one text comparison is a safe identity
+    witness.
+    """
+    return hashlib.blake2b(text.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
 @dataclass(frozen=True)
 class Page:
     """One retrieved data page.
@@ -34,10 +48,23 @@ class Page:
     url: str
     text: str
     digest: str = field(default="", compare=False)
+    fp: str = field(default="", compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.digest:
             object.__setattr__(self, "digest", content_digest(self.text))
+
+    @property
+    def fingerprint(self) -> str:
+        """The page's blake2 content fingerprint, computed lazily.
+
+        Pages loaded from a snapshot file carry the persisted value;
+        freshly built pages compute and cache it on first use, so
+        systems that never consult fingerprints pay nothing.
+        """
+        if not self.fp:
+            object.__setattr__(self, "fp", content_fingerprint(self.text))
+        return self.fp
 
     @classmethod
     def from_url(cls, url: str, text: str) -> "Page":

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, Optional
 
 if TYPE_CHECKING:  # typing-only; avoids a package import cycle
+    from .fastpath.stats import FastPathStats
     from .runtime.metrics import RuntimeMetrics
 
 MATCH = "match"
@@ -37,11 +38,18 @@ class Timings:
     produced these timings: per-batch wall time, worker utilization,
     pages/sec. It is attached by the systems when they route their
     page loop through :mod:`repro.runtime`.
+
+    ``fastpath`` optionally carries the snapshot-delta fast-path
+    counters (:class:`~repro.fastpath.stats.FastPathStats`): pages
+    short-circuited, memo hits, automata reused, matcher seconds
+    avoided. Attached by the engines when fast paths are active.
     """
 
     parts: Dict[str, float] = field(default_factory=dict)
     total: float = 0.0
     runtime: Optional["RuntimeMetrics"] = field(default=None, repr=False,
+                                                compare=False)
+    fastpath: Optional["FastPathStats"] = field(default=None, repr=False,
                                                 compare=False)
 
     def add(self, category: str, seconds: float) -> None:
@@ -59,7 +67,8 @@ class Timings:
     def merged(self, other: "Timings") -> "Timings":
         merged = Timings(parts=dict(self.parts),
                          total=self.total + other.total,
-                         runtime=self.runtime or other.runtime)
+                         runtime=self.runtime or other.runtime,
+                         fastpath=self.fastpath or other.fastpath)
         for category, seconds in other.parts.items():
             merged.add(category, seconds)
         return merged

@@ -1,0 +1,514 @@
+"""Snapshot-delta fast paths: units, counters, and on/off parity.
+
+The headline property is behaviour preservation: with the fast paths
+on, every system produces byte-identical reuse files and identical
+extraction results to the fast paths off. The tests here check the
+individual mechanisms (fingerprints, match memo, automaton cache,
+indexed reader) and then the end-to-end parity over evolved
+multi-snapshot series for all four systems.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import dblife_corpus
+from repro.corpus.snapshot import read_snapshot, write_snapshot
+from repro.core.runner import (
+    SYSTEM_NAMES,
+    canonical_results,
+    make_system,
+    run_series,
+    verify_fastpath,
+)
+from repro.extractors import make_task
+from repro.fastpath import (
+    AutomatonCache,
+    FastPathConfig,
+    FastPathStats,
+    IndexedReuseFileReader,
+    MatchMemo,
+    content_fingerprint,
+    pages_identical,
+)
+from repro.matchers import STMatcher, UDMatcher, WinnowingMatcher
+from repro.matchers.base import RU_NAME, ST_NAME, UD_NAME
+from repro.matchers.ud import myers_lcs_pairs
+from repro.matchers.ws import WS_NAME
+from repro.plan import compile_program, find_units
+from repro.reuse.engine import PlanAssignment
+from repro.reuse.files import ReuseFileReader, ReuseFileWriter
+from repro.text.document import Page
+from repro.text.span import Interval
+
+
+# -- configuration ---------------------------------------------------------
+
+
+class TestFastPathConfig:
+    def test_default_is_on(self):
+        cfg = FastPathConfig.from_flag(None)
+        assert cfg.enabled
+        for feature in ("unchanged_page", "match_memo",
+                        "automaton_cache", "reader_index"):
+            assert cfg.want(feature)
+
+    @pytest.mark.parametrize("flag", ["off", "false", "0", "no", False])
+    def test_off_flags(self, flag):
+        cfg = FastPathConfig.from_flag(flag)
+        assert not cfg.enabled
+        assert not cfg.want("unchanged_page")
+
+    @pytest.mark.parametrize("flag", ["on", "true", "1", "yes", True])
+    def test_on_flags(self, flag):
+        assert FastPathConfig.from_flag(flag).enabled
+
+    def test_passthrough_and_invalid(self):
+        cfg = FastPathConfig.on()
+        assert FastPathConfig.from_flag(cfg) is cfg
+        with pytest.raises(ValueError):
+            FastPathConfig.from_flag("sometimes")
+
+    def test_without_disables_one_feature(self):
+        cfg = FastPathConfig.on().without("match_memo")
+        assert cfg.enabled and not cfg.want("match_memo")
+        assert cfg.want("unchanged_page")
+
+    def test_master_switch_beats_features(self):
+        cfg = FastPathConfig(enabled=False)
+        assert not cfg.want("match_memo")
+
+
+# -- fingerprints ----------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_and_distinct(self):
+        assert content_fingerprint("abc") == content_fingerprint("abc")
+        assert content_fingerprint("abc") != content_fingerprint("abd")
+
+    def test_page_fingerprint_lazy_and_cached(self):
+        page = Page(did="d1", url="u", text="hello world")
+        assert page.fp == ""
+        fp = page.fingerprint
+        assert fp == content_fingerprint("hello world")
+        assert page.fp == fp  # cached into the instance
+
+    def test_pages_identical_requires_equal_text(self):
+        p = Page(did="a", url="u", text="same text here")
+        q = Page(did="b", url="u", text="same text here")
+        r = Page(did="c", url="u", text="other text here")
+        assert pages_identical(p, q)
+        assert not pages_identical(p, r)
+        assert not pages_identical(p, None)
+
+    def test_pages_identical_survives_forged_fingerprint(self):
+        # A stale/colliding fp field must not fool the check: text is
+        # always compared.
+        p = Page(did="a", url="u", text="one")
+        q = Page(did="b", url="u", text="two", fp=p.fingerprint)
+        assert not pages_identical(p, q)
+
+    def test_snapshot_roundtrip_persists_fingerprint(self, tmp_path):
+        snaps = list(dblife_corpus(n_pages=4, seed=0).snapshots(1))
+        path = os.path.join(tmp_path, "snap.jsonl")
+        write_snapshot(snaps[0], path)
+        restored = read_snapshot(path)
+        for page in restored.canonical_pages():
+            assert page.fp != ""
+            assert page.fp == content_fingerprint(page.text)
+
+
+# -- match memo ------------------------------------------------------------
+
+
+P_TEXT = "alpha beta gamma\ndelta epsilon\nzeta eta theta iota kappa\n"
+Q_TEXT = "alpha beta gamma\nDELTA epsilon\nzeta eta theta iota kappa\n"
+
+
+class TestMatchMemo:
+    @pytest.mark.parametrize("matcher", [
+        STMatcher(min_length=8), UDMatcher(), WinnowingMatcher()])
+    def test_memo_equals_direct(self, matcher):
+        region = Interval(0, len(P_TEXT))
+        candidates = {7: Interval(0, len(Q_TEXT)),
+                      9: Interval(0, 30), 3: Interval(17, 45)}
+        direct = matcher.match_many(P_TEXT, region, Q_TEXT, candidates)
+        memo = MatchMemo()
+        routed = memo.match_many(matcher, P_TEXT, region, Q_TEXT,
+                                 candidates)
+        assert routed == direct
+        # Second pass: all hits, still identical.
+        again = memo.match_many(matcher, P_TEXT, region, Q_TEXT,
+                                candidates)
+        assert again == direct
+        assert memo.stats.memo_hits == len(candidates)
+        assert memo.stats.memo_misses == len(candidates)
+
+    def test_retag_per_candidate(self):
+        # Two candidates with the same interval share one memo entry
+        # but keep their own itids.
+        matcher = UDMatcher()
+        region = Interval(0, len(P_TEXT))
+        candidates = {5: Interval(0, len(Q_TEXT)),
+                      8: Interval(0, len(Q_TEXT))}
+        memo = MatchMemo()
+        routed = memo.match_many(matcher, P_TEXT, region, Q_TEXT,
+                                 candidates)
+        assert routed == matcher.match_many(P_TEXT, region, Q_TEXT,
+                                            candidates)
+        assert memo.stats.memo_misses == 1
+        assert memo.stats.memo_hits == 1
+        assert {seg.q_itid for seg in routed} == {5, 8}
+
+    def test_distinct_configs_do_not_collide(self):
+        region = Interval(0, len(P_TEXT))
+        candidates = {1: Interval(0, len(Q_TEXT))}
+        memo = MatchMemo()
+        loose = memo.match_many(STMatcher(min_length=8), P_TEXT, region,
+                                Q_TEXT, candidates)
+        strict = memo.match_many(STMatcher(min_length=26), P_TEXT, region,
+                                 Q_TEXT, candidates)
+        assert loose == STMatcher(min_length=8).match_many(
+            P_TEXT, region, Q_TEXT, candidates)
+        assert strict == STMatcher(min_length=26).match_many(
+            P_TEXT, region, Q_TEXT, candidates)
+        assert memo.stats.memo_misses == 2
+
+
+class TestAutomatonCache:
+    def test_reuse_same_region(self):
+        cache = AutomatonCache()
+        a = cache.get(Q_TEXT, Interval(0, 30))
+        b = cache.get(Q_TEXT, Interval(0, 30))
+        assert a is b
+        assert cache.stats.automata_built == 1
+        assert cache.stats.automata_reused == 1
+
+    def test_distinct_regions_build_separately(self):
+        cache = AutomatonCache()
+        a = cache.get(Q_TEXT, Interval(0, 30))
+        b = cache.get(Q_TEXT, Interval(5, 30))
+        assert a is not b
+        assert cache.stats.automata_built == 2
+
+    def test_body_mismatch_rebuilds(self):
+        # Same bounds, different text (misuse across page pairs) must
+        # not return a stale automaton.
+        cache = AutomatonCache()
+        a = cache.get(Q_TEXT, Interval(0, 30))
+        b = cache.get(P_TEXT, Interval(0, 30))
+        assert a is not b
+
+    def test_st_matcher_uses_cache(self):
+        stats = FastPathStats()
+        cache = AutomatonCache(stats)
+        matcher = STMatcher(min_length=8, automatons=cache)
+        region = Interval(0, len(P_TEXT))
+        q_region = Interval(0, len(Q_TEXT))
+        plain = STMatcher(min_length=8).match(P_TEXT, region, Q_TEXT,
+                                              q_region)
+        first = matcher.match(P_TEXT, region, Q_TEXT, q_region)
+        second = matcher.match(P_TEXT, region, Q_TEXT, q_region)
+        assert first == plain and second == plain
+        assert stats.automata_built == 1
+        assert stats.automata_reused == 1
+
+
+# -- reuse-file byte accounting and the indexed reader ---------------------
+
+
+def _write_reuse_file(path: str, groups):
+    writer = ReuseFileWriter(path)
+    for did, tuples in groups:
+        writer.begin_page(did)
+        for s, e in tuples:
+            writer.append_input(did, s, e)
+    writer.close()
+
+
+class TestReaderBytes:
+    def test_bytes_read_counts_utf8_bytes(self, tmp_path):
+        # Multi-byte characters force len(chars) != len(bytes); the
+        # block-based I/O cost model needs actual bytes. The stock
+        # writer escapes non-ASCII, so build raw UTF-8 JSON lines.
+        import json as _json
+
+        path = os.path.join(tmp_path, "u.I.reuse")
+        groups = [("pägé-αβ", [(0, 5), (5, 9)]), ("ズ-page", [(2, 7)])]
+        lines = []
+        tid = 0
+        for did, tuples in groups:
+            lines.append(_json.dumps({"@page": did}, ensure_ascii=False))
+            for s, e in tuples:
+                lines.append(_json.dumps(
+                    {"t": tid, "s": s, "e": e, "c": "ü"},
+                    ensure_ascii=False))
+                tid += 1
+        with open(path, "wb") as f:
+            f.write(("\n".join(lines) + "\n").encode("utf-8"))
+        reader = ReuseFileReader(path)
+        for did, tuples in groups:
+            got = reader.read_page_inputs(did)
+            assert [(t.s, t.e) for t in got] == tuples
+        reader._next_record()  # drain EOF
+        assert reader.bytes_read == os.path.getsize(path)
+        with open(path, encoding="utf-8") as f:
+            n_chars = len(f.read())
+        # The regression being guarded: text-mode counting (characters)
+        # undercounts this file.
+        assert reader.bytes_read > n_chars
+        reader.close()
+
+    def test_writer_byte_count_matches_file(self, tmp_path):
+        path = os.path.join(tmp_path, "u.I.reuse")
+        groups = [(f"p{i}", [(0, 5), (9, 30)]) for i in range(4)]
+        _write_reuse_file(path, groups)
+        reader = ReuseFileReader(path)
+        for did, tuples in groups:
+            assert [(t.s, t.e)
+                    for t in reader.read_page_inputs(did)] == tuples
+        reader._next_record()
+        assert reader.bytes_read == os.path.getsize(path)
+        assert reader.blocks_read >= 1
+        reader.close()
+
+
+class TestIndexedReader:
+    def test_any_order_seeks_match_sequential(self, tmp_path):
+        path = os.path.join(tmp_path, "u.I.reuse")
+        groups = [(f"page-{i:02d}", [(i, i + 10), (i + 20, i + 30)])
+                  for i in range(6)]
+        _write_reuse_file(path, groups)
+        expected = {}
+        seq = ReuseFileReader(path)
+        for did, _ in groups:
+            expected[did] = [(t.s, t.e) for t in seq.read_page_inputs(did)]
+        seq.close()
+        indexed = IndexedReuseFileReader(path)
+        assert len(indexed) == len(groups)
+        order = [g[0] for g in groups]
+        shuffled = order[::-1] + order[:2]  # backwards, then re-reads
+        for did in shuffled:
+            got = [(t.s, t.e) for t in indexed.read_page_inputs(did)]
+            assert got == expected[did], did
+        assert indexed.seeks == len(shuffled)
+        assert indexed.bytes_read >= os.path.getsize(path)
+        indexed.close()
+
+    def test_missing_page_returns_empty(self, tmp_path):
+        path = os.path.join(tmp_path, "u.I.reuse")
+        _write_reuse_file(path, [("present", [(0, 4)])])
+        indexed = IndexedReuseFileReader(path)
+        assert indexed.read_page_inputs("absent") == []
+        assert indexed.read_page_inputs("present") != []
+        indexed.close()
+
+    def test_multibyte_page_ids(self, tmp_path):
+        path = os.path.join(tmp_path, "u.I.reuse")
+        groups = [("π-page", [(0, 3)]), ("ascii", [(1, 5)]),
+                  ("日本語", [(2, 9)])]
+        _write_reuse_file(path, groups)
+        indexed = IndexedReuseFileReader(path)
+        for did, tuples in reversed(groups):
+            assert [(t.s, t.e)
+                    for t in indexed.read_page_inputs(did)] == tuples
+        indexed.close()
+
+
+# -- capped UD stays well-formed (satellite: _prefix_suffix_pairs) ---------
+
+
+LINES = st.lists(st.sampled_from(["a", "b", "c", "dd"]), max_size=14)
+
+
+class TestCappedUDProperty:
+    @given(a=LINES, b=LINES, max_d=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=200, deadline=None)
+    def test_pairs_monotone_nonoverlapping_and_valid(self, a, b, max_d):
+        pairs = myers_lcs_pairs(a, b, max_d=max_d)
+        for i, j in pairs:
+            assert 0 <= i < len(a) and 0 <= j < len(b)
+            assert a[i] == b[j]
+        for (i1, j1), (i2, j2) in zip(pairs, pairs[1:]):
+            # Strictly increasing in both coordinates: monotone, no
+            # index claimed twice, no crossing pairs.
+            assert i2 > i1 and j2 > j1
+
+    @given(a=LINES, b=LINES)
+    @settings(max_examples=100, deadline=None)
+    def test_uncapped_matches_capped_upper_bound(self, a, b):
+        full = myers_lcs_pairs(a, b, max_d=0)
+        capped = myers_lcs_pairs(a, b, max_d=2)
+        assert len(capped) <= len(full)
+
+    def test_prefix_never_reclaimed_by_suffix(self):
+        # The crossing-pair regression: duplicated head/tail lines.
+        pairs = myers_lcs_pairs(["x", "x"], ["x"], max_d=1)
+        assert pairs == [(0, 0)] or pairs == [(1, 0)]
+
+
+# -- end-to-end parity: fastpath on == fastpath off ------------------------
+
+
+def _capture_tree(root):
+    out = {}
+    for dirpath, _, names in os.walk(root):
+        for name in sorted(names):
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as f:
+                out[os.path.relpath(path, root)] = f.read()
+    return out
+
+
+@pytest.fixture(scope="module")
+def chair_task():
+    return make_task("chair", work_scale=0)
+
+
+@pytest.fixture(scope="module")
+def parity_snaps():
+    return list(dblife_corpus(n_pages=12, seed=11,
+                              p_unchanged=0.6).snapshots(3))
+
+
+class TestFastPathParity:
+    def test_all_systems_results_identical(self, chair_task, parity_snaps):
+        assert verify_fastpath(chair_task, parity_snaps,
+                               systems=SYSTEM_NAMES) == []
+
+    @pytest.mark.parametrize("matcher", [ST_NAME, UD_NAME, WS_NAME])
+    def test_delex_reuse_files_byte_identical(self, chair_task,
+                                              parity_snaps, tmp_path,
+                                              matcher):
+        plan = compile_program(chair_task.program, chair_task.registry)
+        units = find_units(plan)
+        assignment = PlanAssignment.uniform(units, matcher)
+        trees, results = {}, {}
+        for flag in ("on", "off"):
+            workdir = os.path.join(tmp_path, flag)
+            system = make_system("delex", chair_task, workdir,
+                                 fastpath=flag,
+                                 fixed_assignment=assignment,
+                                 capture_history=10)
+            prev = None
+            series = []
+            for snap in parity_snaps:
+                result = system.process(snap, prev)
+                series.append(canonical_results(result))
+                prev = snap
+            trees[flag] = _capture_tree(workdir)
+            results[flag] = series
+        assert results["on"] == results["off"]
+        assert trees["on"].keys() == trees["off"].keys()
+        for rel_path in trees["on"]:
+            assert trees["on"][rel_path] == trees["off"][rel_path], rel_path
+
+    def test_delex_mixed_ru_assignment_parity(self, chair_task,
+                                              parity_snaps, tmp_path):
+        # An RU unit disables the identity path plan-wide (it replays
+        # the match cache the skipped matchers would have filled);
+        # results must still agree with fastpath off.
+        plan = compile_program(chair_task.program, chair_task.registry)
+        units = find_units(plan)
+        matchers = {u.uid: (ST_NAME if i == 0 else RU_NAME)
+                    for i, u in enumerate(units)}
+        assignment = PlanAssignment(matchers)
+        results = {}
+        for flag in ("on", "off"):
+            system = make_system("delex", chair_task,
+                                 os.path.join(tmp_path, flag),
+                                 fastpath=flag,
+                                 fixed_assignment=assignment)
+            prev = None
+            series = []
+            for snap in parity_snaps:
+                series.append(canonical_results(system.process(snap, prev)))
+                prev = snap
+            results[flag] = series
+        assert results["on"] == results["off"]
+
+    @pytest.mark.parametrize("matcher", [ST_NAME, UD_NAME])
+    def test_cyclex_result_files_byte_identical(self, chair_task,
+                                                parity_snaps, tmp_path,
+                                                matcher):
+        trees, results = {}, {}
+        for flag in ("on", "off"):
+            workdir = os.path.join(tmp_path, flag)
+            system = make_system("cyclex", chair_task, workdir,
+                                 fastpath=flag, fixed_matcher=matcher)
+            prev = None
+            series = []
+            for snap in parity_snaps:
+                result = system.process(snap, prev)
+                series.append(canonical_results(result))
+                prev = snap
+            trees[flag] = _capture_tree(workdir)
+            results[flag] = series
+        assert results["on"] == results["off"]
+        assert trees["on"] == trees["off"]
+
+    def test_identical_snapshots_short_circuit_everything(self, chair_task):
+        from repro.corpus.evolve import ChangeModel, EvolvingCorpus
+        from repro.corpus.generators import DBLifeGenerator
+        frozen = ChangeModel(p_unchanged=1.0, p_removed=0.0, p_added=0.0)
+        snaps = list(EvolvingCorpus(DBLifeGenerator(), 8, frozen,
+                                    seed=2).snapshots(2))
+        plan = compile_program(chair_task.program, chair_task.registry)
+        units = find_units(plan)
+        assignment = PlanAssignment.uniform(units, ST_NAME)
+        reports = run_series(
+            chair_task, snaps, systems=("noreuse", "delex"),
+            system_kwargs={"delex": {"fixed_assignment": assignment}},
+            fastpath="on")
+        fp = reports["delex"].snapshots[-1].timings.fastpath
+        assert fp is not None
+        assert fp.pages_paired > 0
+        assert fp.pages_short_circuited == fp.pages_paired
+        assert fp.unchanged_fraction == 1.0
+        # And the short-circuited run still agrees with no-reuse.
+        assert (reports["delex"].snapshots[-1].results
+                == reports["noreuse"].snapshots[-1].results)
+
+    def test_fastpath_off_reports_zero_counters(self, chair_task,
+                                                parity_snaps):
+        reports = run_series(chair_task, parity_snaps, systems=("delex",),
+                             fastpath="off")
+        fp = reports["delex"].snapshots[-1].timings.fastpath
+        assert fp is not None
+        assert fp.pages_short_circuited == 0
+        assert fp.memo_hits == 0 and fp.automata_reused == 0
+
+    def test_parallel_fastpath_matches_serial(self, chair_task,
+                                              parity_snaps):
+        serial = run_series(chair_task, parity_snaps, systems=("delex",),
+                            jobs=1, fastpath="on")
+        parallel = run_series(chair_task, parity_snaps, systems=("delex",),
+                              jobs=2, backend="thread", fastpath="on")
+        for s_snap, p_snap in zip(serial["delex"].snapshots,
+                                  parallel["delex"].snapshots):
+            assert s_snap.results == p_snap.results
+
+
+class TestStatsPlumbing:
+    def test_merge_accumulates(self):
+        a = FastPathStats(pages_paired=2, memo_hits=3,
+                          memo_seconds_saved=0.5)
+        b = FastPathStats(pages_paired=1, memo_hits=1, automata_built=4)
+        a.merge(b)
+        assert a.pages_paired == 3
+        assert a.memo_hits == 4
+        assert a.automata_built == 4
+        assert a.memo_seconds_saved == 0.5
+
+    def test_as_dict_and_describe(self):
+        stats = FastPathStats(pages_paired=4, pages_short_circuited=2,
+                              memo_hits=1, memo_misses=1)
+        row = stats.as_dict()
+        assert row["memo_hit_rate"] == 0.5
+        assert stats.unchanged_fraction == 0.5
+        assert "short-circuited 2/4" in stats.describe()
