@@ -1,0 +1,118 @@
+"""Replayable repro bundles for oracle failures.
+
+A bundle is a self-contained directory capturing everything needed to
+reproduce a divergence on another machine:
+
+* ``bundle.json`` — the fuzz spec (when the fuzzer found it), the
+  injected fault (when the failure was planted by the harness's own
+  self-test), the grid name, and the first discrepancy's description;
+* ``series/snap_NNNN.snap`` — the exact (possibly shrunk) snapshot
+  series, persisted with the corpus store's sequential page format so
+  a replay does not depend on the fuzzer's generators at all.
+
+``python -m repro check --replay <dir>`` (and :func:`replay_bundle`)
+loads the series, re-installs the recorded fault if any, and re-runs
+the recorded grid — the oracle's verdict on a correct tree is
+"diverges" for a fault bundle and "all agree" once the bug is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..corpus.snapshot import Snapshot, read_snapshot, write_snapshot
+from ..extractors.library import make_task
+from .faults import injected_fault
+from .grid import build_grid
+from .oracle import Discrepancy, OracleReport, run_oracle
+from .fuzz import FuzzSpec
+
+BUNDLE_FILE = "bundle.json"
+SERIES_DIR = "series"
+FORMAT = 1
+
+
+@dataclass
+class ReproBundle:
+    """An in-memory view of a bundle directory."""
+
+    series: List[Snapshot]
+    grid: str = "small"
+    task: str = "play"
+    spec: Optional[FuzzSpec] = None
+    fault: Optional[str] = None
+    discrepancies: List[str] = field(default_factory=list)
+    created: str = ""
+
+    @property
+    def n_pages(self) -> int:
+        return len({p.url for s in self.series for p in s.pages})
+
+    @property
+    def n_snapshots(self) -> int:
+        return len(self.series)
+
+
+def write_bundle(path: str, series: Sequence[Snapshot], task: str,
+                 grid: str, report: Optional[OracleReport] = None,
+                 spec: Optional[FuzzSpec] = None,
+                 fault: Optional[str] = None) -> str:
+    """Persist a repro bundle; returns the bundle directory."""
+    os.makedirs(os.path.join(path, SERIES_DIR), exist_ok=True)
+    for i, snapshot in enumerate(series):
+        write_snapshot(Snapshot(i, list(snapshot.pages)),
+                       os.path.join(path, SERIES_DIR,
+                                    f"snap_{i:04d}.snap"))
+    manifest: Dict[str, object] = {
+        "format": FORMAT,
+        "task": task,
+        "grid": grid,
+        "snapshots": len(series),
+        "fault": fault,
+        "spec": spec.as_dict() if spec is not None else None,
+        "discrepancies": [d.describe() for d in
+                          (report.discrepancies() if report else [])],
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    with open(os.path.join(path, BUNDLE_FILE), "w",
+              encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_bundle(path: str) -> ReproBundle:
+    """Load a bundle directory back into memory."""
+    with open(os.path.join(path, BUNDLE_FILE), encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    series: List[Snapshot] = []
+    for i in range(int(manifest["snapshots"])):
+        series.append(read_snapshot(
+            os.path.join(path, SERIES_DIR, f"snap_{i:04d}.snap")))
+    spec_data = manifest.get("spec")
+    return ReproBundle(
+        series=series,
+        grid=str(manifest.get("grid", "small")),
+        task=str(manifest.get("task", "play")),
+        spec=(FuzzSpec.from_dict(spec_data) if spec_data else None),
+        fault=manifest.get("fault"),
+        discrepancies=list(manifest.get("discrepancies", ())),
+        created=str(manifest.get("created", "")))
+
+
+def replay_bundle(path: str, check: bool = False,
+                  workdir: Optional[str] = None) -> OracleReport:
+    """Re-run a bundle's series through its recorded grid.
+
+    Re-installs the bundle's injected fault (if any) for the duration
+    of the sweep, so a fault bundle reproduces its divergence exactly.
+    """
+    bundle = load_bundle(path)
+    task = make_task(bundle.task, work_scale=0)
+    with injected_fault(bundle.fault):
+        return run_oracle(task, bundle.series, build_grid(bundle.grid),
+                          workdir=workdir, check=check)

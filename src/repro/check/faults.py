@@ -1,0 +1,113 @@
+"""Test-only fault injection for the differential harness.
+
+A correctness harness you have never seen fail is not evidence of
+anything. This module lets tests (and ``python -m repro check
+--fault ...``) plant a *silent* logic bug in the reuse derivation —
+the kind of bug the differential oracle exists to catch — and verify
+the oracle reports it and the shrinker minimizes it.
+
+The hook lives in :mod:`repro.reuse.regions` as a module-level
+callable (``_fault_hook``), ``None`` in production; ``derive_reuse``
+invokes it *after* the invariant checks, so an injected fault models a
+bug the cheap invariants cannot see (e.g. a dropped copy) and only the
+cross-system diff exposes. Faults are deliberately deterministic —
+they corrupt every derivation that meets their trigger condition — so
+a failing series stays failing under shrinking.
+
+Available faults:
+
+* ``drop_copied`` — silently drop the last copied mention of any
+  derivation that copied at least one. Models an off-by-one in copy
+  selection: invariant-clean, output-visible.
+* ``shift_copied`` — shift the first copied mention's spans one
+  character right. Models a shift-computation bug; the differential
+  oracle catches it as missing+extra tuples.
+* ``drop_extraction_region`` — drop the last extraction region when
+  more than one was derived. Models broken gap coverage. Note the
+  tasks' α (hundreds of characters) means small fuzz pages merge all
+  gaps into one region, so this fault's trigger needs long pages; a
+  post-hoc ``check_derivation`` on the corrupted derivation raises
+  ``extraction-coverage`` (see tests/test_check.py).
+
+Because the hook runs after the in-line invariant checks, *none* of
+these faults trip the derivation-time assertions — re-checking the
+returned derivation (or diffing against ground truth) is what exposes
+them, which is the point.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from ..text.span import Interval, Span
+
+FaultHook = Callable[[Any, Interval], None]
+
+
+def _drop_copied(derivation: Any, p_region: Interval) -> None:
+    if derivation.copied:
+        derivation.copied.pop()
+
+
+def _shift_copied(derivation: Any, p_region: Interval) -> None:
+    if not derivation.copied:
+        return
+    fields = derivation.copied[0]
+    for name, value in list(fields.items()):
+        if isinstance(value, Span):
+            fields[name] = Span(value.did, value.start + 1, value.end + 1)
+
+
+def _drop_extraction_region(derivation: Any, p_region: Interval) -> None:
+    if len(derivation.extraction_regions) > 1:
+        derivation.extraction_regions.pop()
+
+
+FAULTS: Dict[str, FaultHook] = {
+    "drop_copied": _drop_copied,
+    "shift_copied": _shift_copied,
+    "drop_extraction_region": _drop_extraction_region,
+}
+
+_active: Optional[str] = None
+
+
+def active_fault() -> Optional[str]:
+    """Name of the currently injected fault, or None."""
+    return _active
+
+
+def install_fault(name: Optional[str]) -> None:
+    """Install (or, with None, remove) a fault hook by name."""
+    from ..reuse import regions  # local: regions must not import us
+
+    global _active
+    if name is None:
+        regions._fault_hook = None
+        _active = None
+        return
+    if name not in FAULTS:
+        raise ValueError(f"unknown fault {name!r}; choose from "
+                         f"{tuple(sorted(FAULTS))}")
+    regions._fault_hook = FAULTS[name]
+    _active = name
+
+
+@contextmanager
+def injected_fault(name: Optional[str]) -> Iterator[None]:
+    """Context manager: install a fault, restore the previous hook.
+
+    ``name=None`` is a no-op pass-through so callers can thread an
+    optional ``--fault`` argument straight in.
+    """
+    from ..reuse import regions
+
+    previous_hook = regions._fault_hook
+    previous_name = _active
+    install_fault(name)
+    try:
+        yield
+    finally:
+        regions._fault_hook = previous_hook
+        globals()["_active"] = previous_name

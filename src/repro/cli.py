@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro tasks                      # list evaluation tasks
     python -m repro inspect --task play        # program, units, chains
@@ -8,10 +8,16 @@ Five subcommands::
         --store /tmp/corpus                    # generate + persist corpus
     python -m repro run --task play --store /tmp/corpus \\
         --systems noreuse,delex                # run systems, print table
+    python -m repro check --seed 0 --budget 60 # differential oracle sweep
     python -m repro report                     # aggregate bench tables
 
 The ``run`` command verifies Theorem 1 (all systems produce identical
 results) and prints per-snapshot runtimes plus the mean decomposition.
+The ``check`` command is the adversarial version of that claim: a
+budgeted fuzz campaign sweeping every (system, matcher policy,
+fastpath, backend) configuration against from-scratch ground truth,
+with failure shrinking and replayable repro bundles (see
+docs/testing.md).
 """
 
 from __future__ import annotations
@@ -99,11 +105,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         snapshots = list(factory(n_pages=12, seed=0).snapshots(3))
         print("no --store given: using a generated 12-page, "
               "3-snapshot demo corpus\n")
+    from .check import invariants
+
     with tempfile.TemporaryDirectory() as workdir:
-        reports = run_series(task, snapshots, systems=systems,
-                             workdir=workdir, jobs=args.jobs,
-                             backend=args.backend,
-                             fastpath=args.fastpath)
+        with invariants.checking(getattr(args, "check", "off") == "on"):
+            reports = run_series(task, snapshots, systems=systems,
+                                 workdir=workdir, jobs=args.jobs,
+                                 backend=args.backend,
+                                 fastpath=args.fastpath)
     problems = verify_agreement(reports) if "noreuse" in systems else []
     print(f"task {task.name} over {len(snapshots)} snapshots "
           f"({len(snapshots[0])} pages each)\n")
@@ -141,6 +150,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if problems:
             return 1
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Differential-oracle sweep (implementation in repro.check)."""
+    from .check.faults import FAULTS
+    from .check.runner import main_check
+
+    if args.fault is not None and args.fault not in FAULTS:
+        print(f"error: unknown fault {args.fault!r}; choose from "
+              f"{tuple(sorted(FAULTS))}", file=sys.stderr)
+        return 2
+    return main_check(args)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -217,12 +238,57 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("auto", "serial", "thread", "process"),
                      help="executor backend; auto picks by blackbox "
                           "cost (default auto)")
+    run.add_argument("--check", default="off", choices=("on", "off"),
+                     help="runtime invariant assertions (derivation "
+                          "geometry, span bounds, page order, memo "
+                          "replay); off by default — zero hot-path "
+                          "cost when disabled")
     run.add_argument("--fastpath", default="on", choices=("on", "off"),
                      help="snapshot-delta fast paths (page "
                           "fingerprinting, match memoization, automaton "
                           "cache, reuse-file index) for the reusing "
                           "systems; results are identical either way "
                           "(default on)")
+
+    check = sub.add_parser(
+        "check", help="differential correctness sweep (fuzz + oracle)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  repro check --seed 0 --budget 60 --grid full\n"
+               "  repro check --fault drop_copied --bundle-dir /tmp/b\n"
+               "      (self-test: the oracle must catch the planted "
+               "bug,\n       shrink it, and write a replayable bundle)\n"
+               "  repro check --replay /tmp/b\n")
+    check.add_argument("--seed", type=int, default=0,
+                       help="first fuzz seed (default 0)")
+    check.add_argument("--budget", type=float, default=60.0,
+                       help="wall-clock budget in seconds (default 60)")
+    check.add_argument("--grid", default="small",
+                       choices=("small", "full"),
+                       help="sweep grid: small = CI smoke set, full "
+                            "adds the process backend, the ST policy, "
+                            "the mixed assignment, and the live "
+                            "optimizer (default small)")
+    check.add_argument("--shrink", dest="shrink", action="store_true",
+                       default=True,
+                       help="minimize a failing series (default)")
+    check.add_argument("--no-shrink", dest="shrink",
+                       action="store_false",
+                       help="report the first failing series as-is")
+    check.add_argument("--check", default="on", choices=("on", "off"),
+                       help="runtime invariant assertions during the "
+                            "sweep (default on)")
+    check.add_argument("--fault", default=None,
+                       help="plant a known reuse bug (harness "
+                            "self-test); the run must FAIL")
+    check.add_argument("--bundle-dir", default=None,
+                       help="write a replayable repro bundle here on "
+                            "failure")
+    check.add_argument("--replay", default=None, metavar="BUNDLE",
+                       help="replay a previously written repro bundle "
+                            "instead of fuzzing")
+    check.add_argument("--verbose", action="store_true",
+                       help="per-case progress on stderr")
 
     report = sub.add_parser("report",
                             help="print all rendered benchmark tables")
@@ -241,6 +307,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "corpus": _cmd_corpus,
     "run": _cmd_run,
+    "check": _cmd_check,
     "report": _cmd_report,
 }
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from ..text.document import Page
 from .generators import CorpusGenerator, DBLifeGenerator, PageSpec, WikipediaGenerator
@@ -62,12 +62,18 @@ class EvolvingCorpus:
     """Generates consecutive snapshots of a synthetic evolving corpus."""
 
     def __init__(self, generator: CorpusGenerator, n_pages: int,
-                 change_model: ChangeModel, seed: int = 0) -> None:
+                 change_model: ChangeModel, seed: int = 0,
+                 rng: Optional[random.Random] = None) -> None:
+        """``rng`` injects the random stream explicitly (tests, or
+        callers sharing one stream across corpora); the default builds
+        a private ``random.Random(seed)``. The evolver never touches
+        the global :mod:`random` state either way — same seed, same
+        snapshot bytes, regardless of interleaved global draws."""
         if n_pages <= 0:
             raise ValueError("n_pages must be positive")
         self.generator = generator
         self.change_model = change_model
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         self._next_url_id = 0
         self._pages: List[PageSpec] = [
             generator.new_page(self._rng, self._fresh_url())

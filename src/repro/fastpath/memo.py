@@ -28,6 +28,7 @@ import time
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
+from ..check import invariants as _inv
 from ..matchers.base import Matcher
 from ..matchers.st import SuffixAutomaton
 from ..text.regions import MatchSegment
@@ -91,6 +92,12 @@ class MatchMemo:
             else:
                 self.stats.memo_hits += 1
                 self.stats.memo_seconds_saved += self._cost.get(key, 0.0)
+                if _inv.ENABLED:
+                    # Memo-hit retag soundness: the replayed segments
+                    # must still witness text equality inside both
+                    # regions of *this* call (--check layer).
+                    _inv.check_memo_replay(segments, p_text, q_text,
+                                           p_region, q_region)
             for seg in segments:
                 out.append(replace(seg, q_itid=itid))
         return out

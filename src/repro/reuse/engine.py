@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..check import invariants as _inv
 from ..corpus.snapshot import Snapshot
 from ..fastpath.config import FastPathConfig
 from ..fastpath.fingerprint import pages_identical
@@ -253,6 +254,10 @@ class PageEvaluator:
                     and prev_capture and pages_identical(page, q_page)):
                 page_identical = True
                 fp_stats.pages_short_circuited += 1
+                if _inv.ENABLED:
+                    # --check layer: a fingerprint short circuit must
+                    # really be a byte-identical pair.
+                    _inv.check_identity_pair(page, q_page)
 
         def evaluate(node: Node) -> List[TupleRow]:
             key = id(node)
@@ -438,6 +443,10 @@ class PageEvaluator:
                     out_rows.append(dict(ext))
                 else:
                     out_rows.append({**row, **ext})
+        if _inv.ENABLED:
+            # --check layer: every span the unit emits stays inside
+            # the page it was emitted for.
+            _inv.check_rows_in_page(out_rows, page, unit=unit.uid)
         return out_rows
 
     @staticmethod
@@ -573,6 +582,11 @@ class ReuseEngine:
         results: Dict[str, List[Tuple]] = {
             rel: [] for rel in self.plan.program.head_relations()}
         pages = snapshot.canonical_pages()
+        if _inv.ENABLED:
+            # --check layer: reuse files are written one page group per
+            # page in this exact order, so strict did monotonicity here
+            # is the on-disk page-group monotonicity invariant.
+            _inv.check_page_order([p.did for p in pages])
         have_prev = prev_dir is not None and prev_snapshot is not None
         parallel = (self.executor is not None and self.executor.jobs > 1
                     and len(pages) > 1)

@@ -39,11 +39,20 @@ Correctness argument (Theorem 1 hinges on this module):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..check import invariants as _inv
 from ..text.regions import MatchSegment, select_p_disjoint
 from ..text.span import Interval, Span, complement_intervals, merge_intervals
 from .files import InputTuple, OutputTuple
+
+#: Test-only fault-injection hook (see :mod:`repro.check.faults`).
+#: ``None`` in production; when set, it may mutate a finished
+#: derivation to simulate a silent reuse bug for harness self-tests.
+#: Runs *after* the invariant checks by design: an injected fault
+#: models a bug the cheap invariants cannot see, which only the
+#: differential oracle exposes.
+_fault_hook: Optional[Callable[["ReuseDerivation", Interval], None]] = None
 
 
 @dataclass
@@ -151,9 +160,15 @@ def derive_reuse(p_region: Interval, p_did: str,
                  min(p_region.end, gap.end + grow))
         for gap in gaps)
 
-    return ReuseDerivation(copied=copied,
-                           extraction_regions=extraction_regions,
-                           copy_zones=zones)
+    derivation = ReuseDerivation(copied=copied,
+                                 extraction_regions=extraction_regions,
+                                 copy_zones=zones)
+    if _inv.ENABLED:
+        _inv.check_derivation(derivation, p_region, alpha, beta,
+                              did=p_did)
+    if _fault_hook is not None:
+        _fault_hook(derivation, p_region)
+    return derivation
 
 
 def _shift_fields(out: OutputTuple, shift: int, p_did: str) -> Dict[str, Any]:

@@ -320,6 +320,71 @@ class TestIndexedReader:
         indexed.close()
 
 
+class TestIndexedReaderEdgeCases:
+    def test_empty_reuse_file(self, tmp_path):
+        # A unit that saw no pages writes an empty file; the index
+        # scan must handle it (0 groups, 0 bytes) and every seek miss.
+        path = os.path.join(tmp_path, "u.I.reuse")
+        _write_reuse_file(path, [])
+        indexed = IndexedReuseFileReader(path)
+        assert len(indexed) == 0
+        assert indexed.bytes_read == 0
+        assert not indexed.seek_page("anything")
+        assert indexed.read_page_inputs("anything") == []
+        assert indexed.seeks == 0
+        indexed.close()
+
+    def test_single_page_group(self, tmp_path):
+        path = os.path.join(tmp_path, "u.I.reuse")
+        _write_reuse_file(path, [("only", [(0, 4), (6, 9)])])
+        indexed = IndexedReuseFileReader(path)
+        assert len(indexed) == 1
+        # Re-read the same group repeatedly: each seek rewinds to the
+        # group start, so the result never depends on reader position.
+        for _ in range(3):
+            assert [(t.s, t.e) for t in indexed.read_page_inputs("only")] \
+                == [(0, 4), (6, 9)]
+        assert indexed.seeks == 3
+        indexed.close()
+
+    def test_missing_did_seek_leaves_position_intact(self, tmp_path):
+        # A failed seek must not disturb the current read position:
+        # the engine probes optional pages mid-scan.
+        path = os.path.join(tmp_path, "u.I.reuse")
+        _write_reuse_file(path, [("a", [(0, 1)]), ("b", [(2, 3)])])
+        indexed = IndexedReuseFileReader(path)
+        assert indexed.seek_page("a")
+        assert not indexed.seek_page("nope")  # miss: no seek performed
+        # Position still at group "a": its records are next.
+        records = indexed.read_group("a")
+        assert [(r["s"], r["e"]) for r in records] == [(0, 1)]
+        assert indexed.seeks == 1
+        indexed.close()
+
+    def test_interleaved_sequential_then_indexed_reads(self, tmp_path):
+        # The indexed reader subclasses the sequential one; after an
+        # indexed seek the cursor continues *sequentially* into the
+        # following groups, and a later indexed seek can jump back.
+        path = os.path.join(tmp_path, "u.I.reuse")
+        groups = [("a", [(0, 1)]), ("b", [(2, 3)]), ("c", [(4, 5)])]
+        _write_reuse_file(path, groups)
+        indexed = IndexedReuseFileReader(path)
+        # Indexed jump into the middle ...
+        assert indexed.seek_page("b")
+        assert [(r["s"], r["e"])
+                for r in indexed.read_group("b")] == [(2, 3)]
+        # ... then plain sequential continuation into group "c"
+        # (pushback of the marker + sequential read path).
+        assert super(IndexedReuseFileReader, indexed).seek_page("c")
+        assert [(r["s"], r["e"])
+                for r in indexed.read_group("c")] == [(4, 5)]
+        # ... then an indexed jump *backwards* to "a".
+        assert indexed.seek_page("a")
+        assert [(t.s, t.e)
+                for t in indexed.read_page_inputs("a")] == [(0, 1)]
+        indexed.close()
+
+
 # -- capped UD stays well-formed (satellite: _prefix_suffix_pairs) ---------
 
 
