@@ -1,0 +1,186 @@
+"""Serving-layer throughput (extension).
+
+The serving layer's promise is that queries stay fast and *consistent
+while snapshots are being applied*: readers take one generation
+reference and never block on the writer. This benchmark hammers a
+materialized view with concurrent reader threads while the ingest
+loop applies a snapshot stream, and records
+
+* queries/sec sustained during the ingest window,
+* per-snapshot apply time and ingest lag (enqueue -> applied),
+* a consistency audit: every response observed by any reader matched
+  the batch NoReuse reference *for its own snapshot index* (i.e. no
+  response ever mixed generations).
+
+Emits machine-readable ``BENCH_serve.json`` at the repo root (the
+``serve-smoke`` CI job uploads it). Scale knobs:
+
+* ``REPRO_BENCH_SERVE_PAGES``     (default 16)
+* ``REPRO_BENCH_SERVE_SNAPSHOTS`` (default 4)
+* ``REPRO_BENCH_SERVE_WORK``      (default 1.0)
+* ``REPRO_BENCH_SERVE_READERS``   (default 4)
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from conftest import save_table
+
+from repro.core.runner import canonical_results, make_system
+from repro.corpus import dblife_corpus
+from repro.extractors import make_task
+from repro.serve import IngestLoop, IngestQueue, ViewConfig, ViewRegistry
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_serve.json")
+
+TASK = "talk"            # DBLife task
+PAGES = int(os.environ.get("REPRO_BENCH_SERVE_PAGES", "16"))
+N_SNAPSHOTS = int(os.environ.get("REPRO_BENCH_SERVE_SNAPSHOTS", "4"))
+WORK_SCALE = float(os.environ.get("REPRO_BENCH_SERVE_WORK", "1.0"))
+READERS = int(os.environ.get("REPRO_BENCH_SERVE_READERS", "4"))
+SEED = 201
+
+
+def test_query_throughput_during_ingest():
+    snapshots = list(dblife_corpus(n_pages=PAGES, seed=SEED,
+                                   p_unchanged=0.6)
+                     .snapshots(N_SNAPSHOTS))
+
+    with tempfile.TemporaryDirectory() as workdir:
+        registry = ViewRegistry(os.path.join(workdir, "views"))
+        view = registry.register(ViewConfig(
+            name=TASK, task=TASK, work_scale=WORK_SCALE))
+        ingest_queue = IngestQueue(maxsize=max(4, N_SNAPSHOTS))
+        loop = IngestLoop(registry, ingest_queue)
+        relations = list(view.store.schema)
+
+        # Bootstrap generation 1 inline so readers have data from t=0.
+        assert loop.apply_one(snapshots[0])
+
+        stop = threading.Event()
+        counts = [0] * READERS
+        observed = [set() for _ in range(READERS)]   # (index, rel, rows)
+        errors = []
+
+        def reader(slot: int) -> None:
+            i = 0
+            while not stop.is_set():
+                rel = relations[i % len(relations)]
+                i += 1
+                try:
+                    result = view.query(rel, limit=1_000_000)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(repr(exc))
+                    stop.set()
+                    return
+                if result.total != len(result.tuples):
+                    errors.append("truncated full read")
+                    stop.set()
+                    return
+                observed[slot].add((result.snapshot_index, rel,
+                                    frozenset(result.tuples)))
+                counts[slot] += 1
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(READERS)]
+        for t in threads:
+            t.start()
+
+        loop.start()
+        ingest_started = time.perf_counter()
+        queries_before = sum(counts)
+        for snapshot in snapshots[1:]:
+            assert ingest_queue.push(snapshot, block=True, timeout=10)
+        assert loop.drain(timeout=600)
+        ingest_window = time.perf_counter() - ingest_started
+        queries_during = sum(counts) - queries_before
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        loop.stop()
+
+        assert not errors, errors[0]
+        assert loop.snapshots_applied == N_SNAPSHOTS
+        assert loop.snapshots_quarantined == 0
+
+        # Consistency audit: every response any reader observed equals
+        # the batch NoReuse reference for its own snapshot index.
+        task = make_task(TASK, work_scale=WORK_SCALE)
+        reference = {}
+        with tempfile.TemporaryDirectory() as refdir:
+            system = make_system("noreuse", task, refdir)
+            for snapshot in snapshots:
+                reference[snapshot.index] = canonical_results(
+                    system.process(snapshot))
+        audited = 0
+        for slot_observed in observed:
+            for index, rel, rows in slot_observed:
+                assert rows == reference[index][rel], (
+                    f"snapshot {index} relation {rel}: served response "
+                    "diverged from the batch reference")
+                audited += 1
+        assert view.generation.canonical() == \
+            reference[snapshots[-1].index]
+
+        per_snapshot = [
+            {
+                "snapshot_index": record.snapshot_index,
+                "apply_seconds": record.seconds,
+                "engine_seconds": record.engine_seconds,
+                "lag_seconds": record.lag_seconds,
+                "pages_changed": record.pages_changed,
+                "pages_unchanged": record.pages_unchanged,
+                "tuples_total": record.tuples_total,
+            }
+            for record in view.history
+        ]
+
+    qps = queries_during / ingest_window if ingest_window else 0.0
+    lags = [r["lag_seconds"] for r in per_snapshot
+            if r["lag_seconds"] is not None]
+    assert queries_during > 0, "readers starved during ingest"
+    assert qps > 0
+    assert lags and all(lag >= 0 for lag in lags), \
+        "ingest lag not recorded"
+
+    data = {
+        "task": TASK,
+        "pages": PAGES,
+        "snapshots": N_SNAPSHOTS,
+        "work_scale": WORK_SCALE,
+        "readers": READERS,
+        "ingest_window_seconds": ingest_window,
+        "queries_during_ingest": queries_during,
+        "qps_during_ingest": qps,
+        "responses_audited": audited,
+        "max_lag_seconds": max(lags),
+        "mean_lag_seconds": sum(lags) / len(lags),
+        "per_snapshot": per_snapshot,
+        "verdict": "ok",
+    }
+    with open(BENCH_JSON, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    lines = [
+        f"Serve throughput — task={TASK} pages={PAGES} "
+        f"snapshots={N_SNAPSHOTS} readers={READERS} "
+        f"work_scale={WORK_SCALE}",
+        f"  qps during ingest : {qps:>10.1f}  "
+        f"({queries_during} queries / {ingest_window:.3f}s)",
+        f"  responses audited : {audited:>10d}  (all matched batch "
+        "NoReuse for their generation)",
+        "  snapshot   apply(s)     lag(s)   changed  unchanged   tuples",
+    ]
+    for r in per_snapshot:
+        lag = (f"{r['lag_seconds']:>10.3f}"
+               if r["lag_seconds"] is not None else "    inline")
+        lines.append(
+            f"  {r['snapshot_index']:>8}  {r['apply_seconds']:>9.3f} "
+            f"{lag}  {r['pages_changed']:>8}  "
+            f"{r['pages_unchanged']:>9}  {r['tuples_total']:>7}")
+    save_table("serve_throughput.txt", "\n".join(lines) + "\n")

@@ -38,12 +38,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.noreuse import run_page_plain
 from ..core.runner import canonical_results, make_system
 from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask
 from ..plan.compile import compile_program
-from ..reuse.engine import materialize_rows
+from ..reuse.attribution import (
+    attributed_pages,
+    extract_page_rows,
+    tuple_attribution,
+)
 from ..reuse.files import iter_all_pages
 from ..timing import Timer, Timings
 from . import invariants
@@ -153,26 +156,26 @@ class Reference:
 
 def build_reference(task: IETask,
                     snapshots: Sequence[Snapshot]) -> Reference:
-    """From-scratch truth, page by page (serial, no fast paths)."""
+    """From-scratch truth, page by page (serial, no fast paths).
+
+    Both the per-page extraction loop and the tuple->pages inversion
+    live in :mod:`repro.reuse.attribution` — the same machinery the
+    serving layer's delta-apply uses, so the oracle and the server can
+    never drift apart on what "the page that produced this tuple"
+    means (pinned by ``tests/test_attribution.py``).
+    """
     plan = compile_program(task.program, task.registry)
     timer = Timer(Timings())
     results: List[Dict[str, frozenset]] = []
     attribution: List[Dict[str, Dict[tuple, Tuple[str, ...]]]] = []
     for snapshot in snapshots:
-        attr: Dict[str, Dict[tuple, List[str]]] = {}
-        for page in snapshot.canonical_pages():
-            page_rows = run_page_plain(plan, page, timer)
-            for rel, rows in page_rows.items():
-                rel_attr = attr.setdefault(rel, {})
-                for tup in materialize_rows(rows, page.text):
-                    rel_attr.setdefault(tup, [])
-                    if page.did not in rel_attr[tup]:
-                        rel_attr[tup].append(page.did)
+        page_order = [p.did for p in snapshot.canonical_pages()]
+        page_rows = extract_page_rows(plan, snapshot.canonical_pages(),
+                                      timer)
+        attr = tuple_attribution(page_rows, order=page_order)
         results.append({rel: frozenset(tuples)
                         for rel, tuples in attr.items()})
-        attribution.append({rel: {tup: tuple(dids)
-                                  for tup, dids in tuples.items()}
-                            for rel, tuples in attr.items()})
+        attribution.append(attr)
     return Reference(results=results, attribution=attribution)
 
 
@@ -181,15 +184,10 @@ def attribute_pages(tuples: Sequence[tuple],
                     ) -> Tuple[str, ...]:
     """The reference pages responsible for the given tuples.
 
-    Tuples the reference never produced (a config *invented* them)
-    attribute to ``"?"`` — no ground-truth page owns them.
+    Thin alias of :func:`repro.reuse.attribution.attributed_pages`,
+    kept under its historical name for the oracle's callers.
     """
-    pages: List[str] = []
-    for tup in tuples:
-        for did in rel_attr.get(tup, ("?",)):
-            if did not in pages:
-                pages.append(did)
-    return tuple(sorted(pages))
+    return attributed_pages(tuples, rel_attr)
 
 
 def diff_results(reference: Reference, got: Dict[str, frozenset],

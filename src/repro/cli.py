@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro tasks                      # list evaluation tasks
     python -m repro inspect --task play        # program, units, chains
@@ -9,6 +9,7 @@ Six subcommands::
     python -m repro run --task play --store /tmp/corpus \\
         --systems noreuse,delex                # run systems, print table
     python -m repro check --seed 0 --budget 60 # differential oracle sweep
+    python -m repro serve --demo --port 8800   # incremental serving API
     python -m repro report                     # aggregate bench tables
 
 The ``run`` command verifies Theorem 1 (all systems produce identical
@@ -144,12 +145,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\nfastpath (last snapshot):")
         for line in fastpath_lines:
             print(line)
+    if getattr(args, "metrics_json", None):
+        _dump_metrics_json(args.metrics_json, task, snapshots, systems,
+                           reports)
+        print(f"\nmetrics written to {args.metrics_json}")
     if "noreuse" in systems:
         print("\nresult agreement:",
               "OK" if not problems else f"MISMATCH {problems[:3]}")
         if problems:
             return 1
     return 0
+
+
+def _dump_metrics_json(path: str, task, snapshots, systems,
+                       reports) -> None:
+    """Write the run's full telemetry as one JSON document.
+
+    Per system: total seconds, the mean Figure 11 decomposition, and a
+    per-snapshot list of ``Timings.to_dict()`` (which nests
+    ``RuntimeMetrics``/``FastPathStats`` when attached) plus mention
+    counts — the same shapes the serving layer's ``/metrics`` endpoint
+    exports.
+    """
+    import json
+
+    doc = {
+        "task": task.name,
+        "n_snapshots": len(snapshots),
+        "n_pages": len(snapshots[0]) if snapshots else 0,
+        "systems": {},
+    }
+    for s in systems:
+        report = reports[s]
+        doc["systems"][s] = {
+            "total_seconds": report.total_seconds(),
+            "mean_decomposition": report.mean_decomposition(),
+            "snapshots": [
+                {
+                    "index": snap.snapshot_index,
+                    "seconds": snap.seconds,
+                    "mentions": snap.mentions,
+                    "timings": snap.timings.to_dict(),
+                }
+                for snap in report.snapshots
+            ],
+        }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -162,6 +205,104 @@ def _cmd_check(args: argparse.Namespace) -> int:
               f"{tuple(sorted(FAULTS))}", file=sys.stderr)
         return 2
     return main_check(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the incremental extraction service (repro.serve)."""
+    import json as _json
+    import shutil
+    import threading
+    import time
+
+    from .serve import (
+        IngestLoop,
+        IngestQueue,
+        ServeApp,
+        SpoolWatcher,
+        ViewConfig,
+        ViewRegistry,
+        build_server,
+    )
+
+    task_names = [t.strip() for t in args.tasks.split(",") if t.strip()]
+    unknown = [t for t in task_names if t not in ALL_TASKS]
+    if unknown:
+        print(f"error: unknown tasks {unknown}; choose from {ALL_TASKS}",
+              file=sys.stderr)
+        return 2
+    own_workdir = args.workdir is None
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro_serve_")
+    registry = ViewRegistry(os.path.join(workdir, "views"))
+    for name in task_names:
+        registry.register(ViewConfig(
+            name=name, task=name, system=args.system,
+            fastpath=args.fastpath, jobs=args.jobs,
+            backend=args.backend, work_scale=args.work_scale))
+    ingest_queue = IngestQueue(maxsize=args.queue_size)
+    snapshot_store = (CorpusStore(os.path.join(workdir, "corpus"))
+                      if args.persist else None)
+    loop = IngestLoop(registry, ingest_queue,
+                      check=args.check == "on",
+                      snapshot_store=snapshot_store)
+    watcher = (SpoolWatcher(args.spool, ingest_queue)
+               if args.spool else None)
+    app = ServeApp(registry, ingest_queue, loop, watcher=watcher)
+    app.start()
+
+    # Bootstrap snapshots: an existing corpus store, or the demo corpus.
+    snapshots = []
+    if args.store is not None:
+        snapshots = list(CorpusStore(args.store))
+    elif args.demo:
+        template = make_task(task_names[0], work_scale=0)
+        factory = (dblife_corpus if template.corpus == "dblife"
+                   else wikipedia_corpus)
+        snapshots = list(factory(n_pages=args.demo_pages,
+                                 seed=args.seed)
+                         .snapshots(args.demo_snapshots))
+    for snapshot in snapshots:
+        while not ingest_queue.push(snapshot, block=True, timeout=1.0):
+            pass
+    if snapshots:
+        print(f"ingesting {len(snapshots)} bootstrap snapshot(s) ...")
+        loop.drain(timeout=600.0)
+
+    server = build_server(app, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {len(task_names)} view(s) "
+          f"({', '.join(task_names)}) on http://{host}:{port}")
+    print("  try:")
+    print(f"    curl 'http://{host}:{port}/views'")
+    print(f"    curl 'http://{host}:{port}/query?view={task_names[0]}"
+          "&limit=5'")
+    print(f"    curl 'http://{host}:{port}/metrics'")
+    if args.spool:
+        print(f"  spool: drop snapshot_NNNN.dat files into {args.spool}")
+    if args.max_seconds is not None:
+        threading.Timer(args.max_seconds, server.shutdown).start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        if args.status_json:
+            # Capture while the ingest loop is still alive so the
+            # health verdict reflects the serving state, not shutdown.
+            status = {
+                "healthz": app.handle_healthz()[1],
+                "metrics": app.handle_metrics()[1],
+            }
+            with open(args.status_json, "w", encoding="utf-8") as f:
+                _json.dump(status, f, indent=2)
+                f.write("\n")
+            print(f"status written to {args.status_json}")
+        app.shutdown()
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+        # Give daemon HTTP worker threads a beat to unwind.
+        time.sleep(0.05)
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -249,6 +390,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "cache, reuse-file index) for the reusing "
                           "systems; results are identical either way "
                           "(default on)")
+    run.add_argument("--metrics-json", default=None, metavar="PATH",
+                     help="after the run, dump per-system per-snapshot "
+                          "timings, runtime telemetry, and fast-path "
+                          "counters as JSON to PATH")
 
     check = sub.add_parser(
         "check", help="differential correctness sweep (fuzz + oracle)",
@@ -290,6 +435,66 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--verbose", action="store_true",
                        help="per-case progress on stderr")
 
+    serve = sub.add_parser(
+        "serve", help="run the incremental extraction service",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  repro serve --demo --port 8800\n"
+               "      (generate a small evolving corpus, ingest it, "
+               "serve /query)\n"
+               "  repro serve --tasks play,talk --store /tmp/corpus "
+               "--spool /tmp/spool\n"
+               "      (bootstrap from a stored corpus, then keep "
+               "ingesting snapshot\n       files dropped into the "
+               "spool directory)\n"
+               "  curl 'http://127.0.0.1:8800/query?view=play&limit=5'")
+    serve.add_argument("--tasks", default="play",
+                       help="comma-separated tasks to register as "
+                            "materialized views (default play)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8800,
+                       help="HTTP port (0 = ephemeral; default 8800)")
+    serve.add_argument("--store", default=None,
+                       help="bootstrap: ingest all snapshots of this "
+                            "corpus store at startup")
+    serve.add_argument("--demo", action="store_true",
+                       help="bootstrap: ingest a small generated "
+                            "evolving demo corpus")
+    serve.add_argument("--demo-pages", type=int, default=12)
+    serve.add_argument("--demo-snapshots", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--spool", default=None, metavar="DIR",
+                       help="watch DIR for snapshot_NNNN.dat files and "
+                            "ingest them continuously")
+    serve.add_argument("--system", default="delex",
+                       choices=("delex", "noreuse"),
+                       help="view maintenance mode (default delex)")
+    serve.add_argument("--fastpath", default="on",
+                       choices=("on", "off"))
+    serve.add_argument("--jobs", type=int, default=1)
+    serve.add_argument("--backend", default="auto",
+                       choices=("auto", "serial", "thread", "process"))
+    serve.add_argument("--work-scale", type=float, default=1.0)
+    serve.add_argument("--check", default="off", choices=("on", "off"),
+                       help="guard every apply with the invariant "
+                            "layer and the store-vs-engine consistency "
+                            "check (default off)")
+    serve.add_argument("--queue-size", type=int, default=8,
+                       help="ingest queue bound (backpressure beyond "
+                            "this; default 8)")
+    serve.add_argument("--persist", action="store_true",
+                       help="persist applied snapshots to "
+                            "<workdir>/corpus")
+    serve.add_argument("--workdir", default=None,
+                       help="serving state directory (default: "
+                            "temporary, removed on exit)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="shut down after this many seconds "
+                            "(smoke tests)")
+    serve.add_argument("--status-json", default=None, metavar="PATH",
+                       help="on shutdown, dump /healthz + /metrics "
+                            "JSON to PATH")
+
     report = sub.add_parser("report",
                             help="print all rendered benchmark tables")
     report.add_argument(
@@ -308,6 +513,7 @@ _COMMANDS = {
     "corpus": _cmd_corpus,
     "run": _cmd_run,
     "check": _cmd_check,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

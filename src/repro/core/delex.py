@@ -44,7 +44,8 @@ class DelexSystem:
                  scope: Optional["PageMatchScope"] = None,
                  executor: Optional[Executor] = None,
                  scheduler: Optional[PageScheduler] = None,
-                 fastpath: Optional[FastPathConfig] = None) -> None:
+                 fastpath: Optional[FastPathConfig] = None,
+                 collect_page_rows: bool = False) -> None:
         self.task = task
         self.workdir = workdir
         self.executor = executor
@@ -67,6 +68,13 @@ class DelexSystem:
         self.last_assignment: Optional[PlanAssignment] = None
         self._last_result: Optional[SnapshotRunResult] = None
         self._extract_rates: Dict[str, float] = {}
+        #: When ``collect_page_rows`` is set, every ``process`` call
+        #: additionally leaves the run's materialized rows split by
+        #: producing page in ``last_page_rows`` (``did -> relation ->
+        #: rows``) — the serving layer's delta-apply input, collected
+        #: at zero extra extraction cost by the engine.
+        self.collect_page_rows = collect_page_rows
+        self.last_page_rows: Optional[Dict[str, Dict[str, list]]] = None
 
     def _out_dir(self) -> str:
         return os.path.join(self.workdir,
@@ -133,10 +141,14 @@ class DelexSystem:
                              scheduler=self.scheduler,
                              fastpath=self.fastpath)
         out_dir = self._out_dir()
+        page_rows_out: Optional[Dict[str, Dict[str, list]]] = (
+            {} if self.collect_page_rows else None)
         result = engine.run_snapshot(
             snapshot,
             self._history[-1] if self._history else None,
-            self._prev_dir, out_dir, timings=timings)
+            self._prev_dir, out_dir, timings=timings,
+            page_rows_out=page_rows_out)
+        self.last_page_rows = page_rows_out
         self._last_result = result
         self._gc_old_capture()
         self._prev_dir = out_dir

@@ -61,7 +61,8 @@ class FastPathStats:
             return 0.0
         return self.pages_short_circuited / self.pages_paired
 
-    def as_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the shared ``to_dict`` contract)."""
         return {
             "pages_paired": self.pages_paired,
             "pages_short_circuited": self.pages_short_circuited,
@@ -75,6 +76,9 @@ class FastPathStats:
             "automata_reused": self.automata_reused,
             "reader_index_seeks": self.reader_index_seeks,
         }
+
+    #: Backwards-compatible alias (pre-serve callers used ``as_dict``).
+    as_dict = to_dict
 
     def describe(self) -> str:
         return (f"short-circuited {self.pages_short_circuited}/"

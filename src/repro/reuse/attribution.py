@@ -1,0 +1,126 @@
+"""Per-page tuple attribution — shared by the oracle and the server.
+
+Canonical extracted tuples (:func:`~repro.reuse.engine.materialize_rows`
+output) carry no page id of their own, yet two different consumers need
+to know *which page produced which tuple*:
+
+* the differential oracle (:mod:`repro.check.oracle`) attributes a
+  result divergence to the page(s) whose from-scratch extraction owns
+  the offending tuples, turning a bare tuple diff into the first
+  divergent *(page, relation, tuple)* report;
+* the serving layer (:mod:`repro.serve`) maintains a materialized view
+  as a map ``page -> tuples`` so a new snapshot can be applied as a
+  *delta* — replace only the entries of pages that changed, keep
+  everything else — with the view's served relation being the union.
+
+Both consumers previously would have needed their own copy of the
+"run the plan page by page, materialize each page's rows separately"
+loop; this module is that loop factored out once. The from-scratch
+path (:func:`extract_page_rows`) is definitionally identical to a
+NoReuse run split per page: concatenating the per-page rows in
+canonical page order reproduces ``NoReuseSystem.process`` output
+exactly (pinned by ``tests/test_attribution.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..plan.compile import CompiledPlan
+from ..text.document import Page
+from ..timing import Timer, Timings
+
+#: Materialized rows of one snapshot keyed by producing page:
+#: ``did -> relation -> [canonical tuple, ...]``.
+PageRows = Dict[str, Dict[str, List[tuple]]]
+
+#: Reverse index: ``relation -> tuple -> (did, ...)`` in first-seen
+#: page order (a tuple may be produced by several pages).
+Attribution = Dict[str, Dict[tuple, Tuple[str, ...]]]
+
+
+def extract_page_rows(plan: CompiledPlan, pages: Sequence[Page],
+                      timer: Optional[Timer] = None) -> PageRows:
+    """From-scratch per-page extraction (the oracle's ground truth).
+
+    Runs the compiled plan over each page in the order given and
+    materializes every page's rows separately. Pass pages in canonical
+    order (``snapshot.canonical_pages()``) when the concatenation must
+    match a NoReuse run byte-for-byte.
+    """
+    # Imported lazily: core.noreuse imports reuse.engine, so a module-
+    # level import here would cycle through the package __init__.
+    from ..core.noreuse import run_page_plain
+    from .engine import materialize_rows
+
+    timer = timer if timer is not None else Timer(Timings())
+    out: PageRows = {}
+    for page in pages:
+        page_rows = run_page_plain(plan, page, timer)
+        out[page.did] = {rel: materialize_rows(rows, page.text)
+                         for rel, rows in page_rows.items()}
+    return out
+
+
+def tuple_attribution(page_rows: PageRows,
+                      order: Optional[Iterable[str]] = None) -> Attribution:
+    """Invert ``page -> rel -> tuples`` into ``rel -> tuple -> pages``.
+
+    ``order`` fixes the page iteration order (dids); by default pages
+    are visited in sorted did order — the canonical processing order —
+    so attribution lists are deterministic regardless of how the
+    ``page_rows`` mapping was built.
+    """
+    dids = list(order) if order is not None else sorted(page_rows)
+    attr: Attribution = {}
+    for did in dids:
+        for rel, tuples in page_rows.get(did, {}).items():
+            rel_attr = attr.setdefault(rel, {})
+            for tup in tuples:
+                dids_for = rel_attr.get(tup)
+                if dids_for is None:
+                    rel_attr[tup] = (did,)
+                elif did not in dids_for:
+                    rel_attr[tup] = dids_for + (did,)
+    return attr
+
+
+def collapse_page_rows(page_rows: PageRows,
+                       order: Optional[Iterable[str]] = None
+                       ) -> Dict[str, List[tuple]]:
+    """Concatenate per-page rows back into whole-snapshot relations.
+
+    With ``order`` = canonical page order this reproduces exactly what
+    a monolithic run over the same pages returns (rows are emitted
+    page by page in both cases), duplicates included.
+    """
+    dids = list(order) if order is not None else sorted(page_rows)
+    rels: Dict[str, List[tuple]] = {}
+    for did in dids:
+        for rel, tuples in page_rows.get(did, {}).items():
+            rels.setdefault(rel, []).extend(tuples)
+    return rels
+
+
+def canonicalize(page_rows: PageRows) -> Dict[str, frozenset]:
+    """Order-insensitive relation view of per-page rows."""
+    out: Dict[str, frozenset] = {}
+    for rel, tuples in collapse_page_rows(page_rows).items():
+        out[rel] = out.get(rel, frozenset()) | frozenset(tuples)
+    return out
+
+
+def attributed_pages(tuples: Sequence[tuple],
+                     rel_attr: Dict[tuple, Tuple[str, ...]]
+                     ) -> Tuple[str, ...]:
+    """The pages responsible for the given tuples, sorted.
+
+    Tuples no page of the attribution produced (a config *invented*
+    them) attribute to ``"?"`` — no ground-truth page owns them.
+    """
+    pages: List[str] = []
+    for tup in tuples:
+        for did in rel_attr.get(tup, ("?",)):
+            if did not in pages:
+                pages.append(did)
+    return tuple(sorted(pages))

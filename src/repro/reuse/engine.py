@@ -504,8 +504,10 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
     ``prev_slices`` maps ``uid -> q_did -> (inputs, outputs)`` for
     exactly the previous pages this batch recycles from.
 
-    Returns materialized per-relation rows (canonical page order
-    within the batch), the buffered page captures, per-unit stats,
+    Returns materialized rows *per page* (canonical page order within
+    the batch; the parent concatenates them back into per-relation
+    order and, when asked, keeps the per-page split for the serving
+    layer's delta-apply), the buffered page captures, per-unit stats,
     the worker's timing parts, and its fast-path counters.
     """
     pairs, prev_slices = payload
@@ -515,8 +517,7 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
     sink = BufferedCaptureSink(uids)
     stats = {uid: UnitRunStats() for uid in uids}
     fp_stats = FastPathStats()
-    rel_rows: Dict[str, List[Tuple]] = {
-        rel: [] for rel in evaluator.plan.program.head_relations()}
+    page_rel_rows: List[Tuple[str, Dict[str, List[Tuple]]]] = []
     for page, q_page in pairs:
         sink.begin_page(page.did)
         prev_capture: PrevCapture = {}
@@ -529,9 +530,10 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
         page_rows = evaluator.run_page(page, q_page, prev_capture, sink,
                                        stats, timer, cache=MatchCache(),
                                        fp_stats=fp_stats)
-        for rel, rows in page_rows.items():
-            rel_rows[rel].extend(materialize_rows(rows, page.text))
-    return rel_rows, sink.pages, stats, timings.parts, fp_stats
+        page_rel_rows.append((page.did, {
+            rel: materialize_rows(rows, page.text)
+            for rel, rows in page_rows.items()}))
+    return page_rel_rows, sink.pages, stats, timings.parts, fp_stats
 
 
 class ReuseEngine:
@@ -564,11 +566,21 @@ class ReuseEngine:
     def run_snapshot(self, snapshot: Snapshot,
                      prev_snapshot: Optional[Snapshot],
                      prev_dir: Optional[str], out_dir: str,
-                     timings: Optional[Timings] = None) -> SnapshotRunResult:
+                     timings: Optional[Timings] = None,
+                     page_rows_out: Optional[
+                         Dict[str, Dict[str, List[Tuple]]]] = None
+                     ) -> SnapshotRunResult:
         """Run the plan over ``snapshot``, reusing ``prev_dir`` capture.
 
         ``prev_snapshot``/``prev_dir`` are None for the bootstrap run.
         Capture for the *next* snapshot is written under ``out_dir``.
+
+        ``page_rows_out``, when given, is filled with the run's
+        materialized rows split by producing page (``did -> relation
+        -> rows``) — the per-page attribution of this (possibly
+        recycled) run, at zero extra extraction cost. The serving
+        layer applies it as a delta; concatenating it in canonical
+        page order reproduces ``results`` exactly.
         """
         timings = timings if timings is not None else Timings()
         timer = Timer(timings)
@@ -597,11 +609,11 @@ class ReuseEngine:
                 if parallel:
                     pages_with_prev = self._run_parallel(
                         pages, have_prev, prev_dir, writers, stats,
-                        results, timer, fp_stats)
+                        results, timer, fp_stats, page_rows_out)
                 else:
                     pages_with_prev = self._run_serial(
                         pages, have_prev, prev_dir, writers, stats,
-                        results, timer, fp_stats)
+                        results, timer, fp_stats, page_rows_out)
         finally:
             for wi, wo in writers.values():
                 wi.close()
@@ -641,7 +653,9 @@ class ReuseEngine:
                                              ReuseFileWriter]],
                     stats: Dict[str, UnitRunStats],
                     results: Dict[str, List[Tuple]], timer: Timer,
-                    fp_stats: FastPathStats) -> int:
+                    fp_stats: FastPathStats,
+                    page_rows_out: Optional[
+                        Dict[str, Dict[str, List[Tuple]]]] = None) -> int:
         # Imported here, not at module level: ``fastpath.reader_index``
         # subclasses ``reuse.files.ReuseFileReader``, whose package in
         # turn imports this engine module (import cycle otherwise).
@@ -686,8 +700,12 @@ class ReuseEngine:
                 page_rows = self.evaluator.run_page(
                     page, q_page, prev_capture, sink, stats, timer,
                     cache=MatchCache(), fp_stats=fp_stats)
-                for rel, rows in page_rows.items():
-                    results[rel].extend(materialize_rows(rows, page.text))
+                materialized = {rel: materialize_rows(rows, page.text)
+                                for rel, rows in page_rows.items()}
+                if page_rows_out is not None:
+                    page_rows_out[page.did] = materialized
+                for rel, rows in materialized.items():
+                    results[rel].extend(rows)
         finally:
             for ri, ro in readers.values():
                 if isinstance(ri, IndexedReuseFileReader):
@@ -745,7 +763,10 @@ class ReuseEngine:
                                                ReuseFileWriter]],
                       stats: Dict[str, UnitRunStats],
                       results: Dict[str, List[Tuple]],
-                      timer: Timer, fp_stats: FastPathStats) -> int:
+                      timer: Timer, fp_stats: FastPathStats,
+                      page_rows_out: Optional[
+                          Dict[str, Dict[str, List[Tuple]]]] = None
+                      ) -> int:
         assert self.executor is not None
         # Pair pages in canonical order in the parent so stateful
         # scopes (fingerprint claims) behave exactly as in a serial run.
@@ -778,10 +799,13 @@ class ReuseEngine:
                                           self.evaluator, payloads)
         wall_seconds = time.perf_counter() - wall_start
         captures = []
-        for seconds, (rel_rows, page_caps, worker_stats, parts,
+        for seconds, (page_rel_rows, page_caps, worker_stats, parts,
                       worker_fp) in timed:
-            for rel, rows in rel_rows.items():
-                results[rel].extend(rows)
+            for did, rel_rows in page_rel_rows:
+                if page_rows_out is not None:
+                    page_rows_out[did] = rel_rows
+                for rel, rows in rel_rows.items():
+                    results[rel].extend(rows)
             captures.extend(page_caps)
             for uid, ws in worker_stats.items():
                 stats[uid].merge(ws)

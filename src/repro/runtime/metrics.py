@@ -56,7 +56,8 @@ class RuntimeMetrics:
             return 0.0
         return min(1.0, self.busy_seconds / (self.jobs * self.wall_seconds))
 
-    def as_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the shared ``to_dict`` contract)."""
         return {
             "backend": self.backend,
             "jobs": self.jobs,
@@ -67,6 +68,9 @@ class RuntimeMetrics:
             "pages_per_second": self.pages_per_second,
             "worker_utilization": self.worker_utilization,
         }
+
+    #: Backwards-compatible alias (pre-serve callers used ``as_dict``).
+    as_dict = to_dict
 
     def describe(self) -> str:
         return (f"{self.backend} jobs={self.jobs} "

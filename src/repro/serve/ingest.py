@@ -1,0 +1,330 @@
+"""The snapshot ingest loop: bounded queue, single writer, quarantine.
+
+Arriving snapshots enter a bounded :class:`IngestQueue` — from the
+HTTP ``/ingest`` endpoint, from a :class:`SpoolWatcher` scanning a
+drop directory, or programmatically — and a single
+:class:`IngestLoop` thread drains it in order, applying each snapshot
+to every registered view. One writer thread is the whole concurrency
+story on the write side: generation sequences stay linear per view
+and the store needs no writer coordination.
+
+Failure containment is per *(view, snapshot)*: an apply that raises is
+retried once (transient faults — a torn reuse file, an OS hiccup —
+heal on retry because the delta apply is all-or-nothing), and a second
+failure quarantines the snapshot on that view: the view keeps serving
+its previous generation, ``/healthz`` degrades, and later snapshots
+keep flowing (they diff against the last *applied* snapshot, so a
+poisoned snapshot cannot wedge the stream). Other views are untouched
+— a fault in one program's maintenance never stalls another's.
+
+Backpressure: ``push`` on a full queue either blocks (spool watcher)
+or returns ``False`` immediately (HTTP returns 429), so a slow apply
+loop surfaces as explicit producer-side pressure instead of unbounded
+memory growth.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from ..corpus.snapshot import Snapshot, read_snapshot
+from ..corpus.store import CorpusStore, _SNAPSHOT_RE
+from .views import ViewRegistry
+
+#: How many recent per-snapshot lag records the loop keeps for
+#: ``/metrics``.
+LAG_HISTORY = 64
+
+
+@dataclass(frozen=True)
+class _QueueItem:
+    snapshot: Snapshot
+    enqueued_at: float
+
+
+class IngestQueue:
+    """Bounded handoff between snapshot producers and the apply loop."""
+
+    def __init__(self, maxsize: int = 8) -> None:
+        self._queue: "queue.Queue[_QueueItem]" = queue.Queue(
+            maxsize=max(1, maxsize))
+        self.capacity = max(1, maxsize)
+        self.pushed = 0
+        self.rejected = 0
+        self._lock = threading.Lock()
+
+    @property
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    def push(self, snapshot: Snapshot, block: bool = False,
+             timeout: Optional[float] = None) -> bool:
+        """Enqueue a snapshot; ``False`` means backpressure hit.
+
+        ``block=False`` (the HTTP path) fails fast on a full queue;
+        ``block=True`` (the spool watcher) waits up to ``timeout``.
+        """
+        item = _QueueItem(snapshot=snapshot, enqueued_at=time.time())
+        try:
+            self._queue.put(item, block=block, timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                self.rejected += 1
+            return False
+        with self._lock:
+            self.pushed += 1
+        return True
+
+    def pop(self, timeout: float = 0.2) -> Optional[_QueueItem]:
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "depth": self.depth,
+            "capacity": self.capacity,
+            "pushed": self.pushed,
+            "rejected": self.rejected,
+        }
+
+
+class IngestLoop:
+    """Single-writer apply loop over all registered views."""
+
+    def __init__(self, registry: ViewRegistry, ingest_queue: IngestQueue,
+                 check: bool = False,
+                 snapshot_store: Optional[CorpusStore] = None) -> None:
+        self.registry = registry
+        self.queue = ingest_queue
+        self.check = check
+        #: Optional shared snapshot store: every snapshot that was
+        #: applied to at least one view is persisted, so a restarted
+        #: server can re-bootstrap from the same corpus.
+        self.snapshot_store = snapshot_store
+        self.snapshots_applied = 0
+        self.applies_failed = 0
+        self.snapshots_quarantined = 0
+        self.last_applied_index: Optional[int] = None
+        self.last_apply_at: Optional[float] = None
+        self.recent: Deque[Dict[str, object]] = deque(maxlen=LAG_HISTORY)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-ingest",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Block until the queue is empty and the last item applied."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.queue.depth == 0 and not self._busy:
+                return True
+            time.sleep(0.02)
+        return False
+
+    # -- the loop ---------------------------------------------------------
+
+    _busy = False
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            item = self.queue.pop(timeout=0.2)
+            if item is None:
+                continue
+            self._busy = True
+            try:
+                self.apply_one(item.snapshot,
+                               enqueued_at=item.enqueued_at)
+            finally:
+                self._busy = False
+
+    def apply_one(self, snapshot: Snapshot,
+                  enqueued_at: Optional[float] = None) -> bool:
+        """Apply one snapshot to every view (also callable inline).
+
+        Returns True when every view applied it cleanly; False when at
+        least one view quarantined it. Per-view failures never
+        propagate — serving continues on the previous generation.
+        """
+        if (self.last_applied_index is not None
+                and snapshot.index <= self.last_applied_index):
+            # Idempotency guard: a re-pushed or stale snapshot is
+            # dropped instead of quarantining every view on the
+            # monotonicity check.
+            self.recent.append({
+                "snapshot_index": snapshot.index,
+                "ok": True,
+                "skipped": "stale",
+                "apply_seconds": 0.0,
+                "lag_seconds": None,
+            })
+            return True
+        start = time.time()
+        all_ok = True
+        lags: List[float] = []
+        for view in self.registry.views():
+            ok = self._apply_with_retry(view, snapshot, enqueued_at)
+            all_ok = all_ok and ok
+            if ok and view.history:
+                lag = view.history[-1].lag_seconds
+                if lag is not None:
+                    lags.append(lag)
+        if all_ok:
+            self.snapshots_applied += 1
+            self.last_applied_index = snapshot.index
+        else:
+            self.snapshots_quarantined += 1
+        self.last_apply_at = time.time()
+        self.recent.append({
+            "snapshot_index": snapshot.index,
+            "ok": all_ok,
+            "apply_seconds": self.last_apply_at - start,
+            "lag_seconds": max(lags) if lags else None,
+        })
+        if all_ok and self.snapshot_store is not None:
+            try:
+                self.snapshot_store.append(snapshot)
+            except (ValueError, OSError):
+                pass  # persistence is best-effort, serving is the job
+        return all_ok
+
+    def _apply_with_retry(self, view, snapshot: Snapshot,
+                          enqueued_at: Optional[float]) -> bool:
+        for attempt in (1, 2):
+            try:
+                record = view.apply_snapshot(snapshot, check=self.check)
+                if enqueued_at is not None:
+                    record.lag_seconds = record.applied_at - enqueued_at
+                return True
+            except Exception as exc:  # noqa: BLE001 - quarantine boundary
+                view.last_error = f"{type(exc).__name__}: {exc}"
+                self.applies_failed += 1
+                if attempt == 2:
+                    view.quarantine.append({
+                        "snapshot_index": snapshot.index,
+                        "error": view.last_error,
+                        "at": time.time(),
+                    })
+        return False
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "running": self.running,
+            "check": self.check,
+            "queue": self.queue.describe(),
+            "snapshots_applied": self.snapshots_applied,
+            "snapshots_quarantined": self.snapshots_quarantined,
+            "applies_failed": self.applies_failed,
+            "last_applied_index": self.last_applied_index,
+            "last_apply_at": self.last_apply_at,
+            "recent": list(self.recent),
+        }
+
+
+class SpoolWatcher:
+    """Feeds the queue from ``snapshot_NNNN.dat`` files in a directory.
+
+    The deployment-friendly producer: a crawler (or ``repro corpus``)
+    drops snapshot files into the spool; the watcher picks them up in
+    index order, pushes them with *blocking* backpressure, and moves
+    each consumed file to ``<spool>/done/`` so a restart never
+    re-ingests. Files newer than the last pushed index are the only
+    candidates, so out-of-order drops wait until their predecessors
+    arrive.
+    """
+
+    def __init__(self, spool_dir: str, ingest_queue: IngestQueue,
+                 poll_seconds: float = 0.5) -> None:
+        self.spool_dir = spool_dir
+        self.queue = ingest_queue
+        self.poll_seconds = poll_seconds
+        self.done_dir = os.path.join(spool_dir, "done")
+        os.makedirs(self.spool_dir, exist_ok=True)
+        os.makedirs(self.done_dir, exist_ok=True)
+        self.files_ingested = 0
+        self.last_index: Optional[int] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-spool",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def scan_once(self) -> int:
+        """One sweep: push every ready spool file, oldest index first."""
+        entries = []
+        for name in os.listdir(self.spool_dir):
+            m = _SNAPSHOT_RE.match(name)
+            if m:
+                entries.append((int(m.group(1)), name))
+        pushed = 0
+        for index, name in sorted(entries):
+            if self.last_index is not None and index <= self.last_index:
+                continue
+            path = os.path.join(self.spool_dir, name)
+            try:
+                snapshot = read_snapshot(path)
+            except (OSError, ValueError, KeyError):
+                continue  # partially written; retry next sweep
+            while not self.queue.push(snapshot, block=True, timeout=0.5):
+                if self._stop.is_set():
+                    return pushed
+            os.replace(path, os.path.join(self.done_dir, name))
+            self.last_index = index
+            self.files_ingested += 1
+            pushed += 1
+        return pushed
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.scan_once()
+            self._stop.wait(self.poll_seconds)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "spool_dir": self.spool_dir,
+            "running": self.running,
+            "files_ingested": self.files_ingested,
+            "last_index": self.last_index,
+        }

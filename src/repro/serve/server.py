@@ -1,0 +1,278 @@
+"""HTTP front end: query/ingest/health/metrics over stdlib threads.
+
+A :class:`ServeApp` bundles the registry, the bounded ingest queue,
+the apply loop, and (optionally) a spool watcher; request handling is
+plain functions on the app returning ``(status, payload)`` so the
+whole API surface is unit-testable without sockets. The HTTP layer is
+a ``ThreadingHTTPServer`` — one thread per in-flight request — which
+is exactly the concurrency shape the generation-swap store is built
+for: any number of reader threads, one writer thread.
+
+Endpoints (all JSON):
+
+* ``GET /query?view=&relation=&offset=&limit=&contains=&f.<var>=`` —
+  paginated, filtered read; every response carries the one generation
+  id it was served from.
+* ``POST /ingest`` — body ``{"index": n, "pages": [{"url", "text"}]}``;
+  202 on enqueue, 429 on backpressure.
+* ``GET /views`` — registered views, their configs and generations.
+* ``GET /healthz`` — 200 ok / 503 degraded (quarantined snapshots or
+  a dead ingest loop).
+* ``GET /metrics`` — uptime, query counters, ingest lag, and per-view
+  per-generation apply timings with the full
+  ``Timings``/``RuntimeMetrics``/``FastPathStats`` ``to_dict`` nests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..corpus.snapshot import Snapshot
+from ..text.document import Page
+from .ingest import IngestLoop, IngestQueue, SpoolWatcher
+from .store import EmptyViewError, UnknownRelationError
+from .views import ViewRegistry
+
+#: Hard cap on one ``/query`` page, whatever ``limit`` asks for.
+MAX_LIMIT = 1000
+
+Payload = Tuple[int, Dict[str, object]]
+
+
+class ServeApp:
+    """Everything one serving deployment holds, HTTP-free."""
+
+    def __init__(self, registry: ViewRegistry, ingest_queue: IngestQueue,
+                 loop: IngestLoop,
+                 watcher: Optional[SpoolWatcher] = None) -> None:
+        self.registry = registry
+        self.queue = ingest_queue
+        self.loop = loop
+        self.watcher = watcher
+        self.started_at = time.time()
+        self._query_lock = threading.Lock()
+        self.queries_served = 0
+        self.ingest_requests = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        self.loop.start()
+        if self.watcher is not None:
+            self.watcher.start()
+
+    def shutdown(self) -> None:
+        if self.watcher is not None:
+            self.watcher.stop()
+        self.loop.stop()
+
+    # -- request handlers (thread-safe) -----------------------------------
+
+    def handle_root(self) -> Payload:
+        return 200, {
+            "service": "repro.serve — incremental extraction serving",
+            "views": self.registry.names(),
+            "endpoints": ["/query", "/ingest", "/views", "/healthz",
+                          "/metrics"],
+        }
+
+    def handle_query(self, params: Dict[str, str]) -> Payload:
+        with self._query_lock:
+            self.queries_served += 1
+        view_name = params.get("view")
+        if view_name is None:
+            names = self.registry.names()
+            if len(names) != 1:
+                return 400, {"error": "query needs ?view= when "
+                                      f"{len(names)} views are "
+                                      "registered",
+                             "views": names}
+            view_name = names[0]
+        try:
+            view = self.registry.get(view_name)
+        except KeyError:
+            return 404, {"error": f"no view {view_name!r}",
+                         "views": self.registry.names()}
+        relation = params.get("relation") or (
+            view.store.schema[0] if view.store.schema else "")
+        try:
+            offset = int(params.get("offset", "0"))
+            limit = min(MAX_LIMIT, int(params.get("limit", "50")))
+        except ValueError:
+            return 400, {"error": "offset/limit must be integers"}
+        field_filters = {key[2:]: value for key, value in params.items()
+                         if key.startswith("f.") and len(key) > 2}
+        try:
+            result = view.query(relation, offset=offset, limit=limit,
+                                contains=params.get("contains"),
+                                field_filters=field_filters or None)
+        except UnknownRelationError:
+            return 404, {"error": f"view {view_name!r} has no relation "
+                                  f"{relation!r}",
+                         "relations": list(view.store.schema)}
+        except EmptyViewError:
+            return 503, {"error": f"view {view_name!r} has no "
+                                  "generation yet; ingest a snapshot "
+                                  "first"}
+        return 200, result.to_dict()
+
+    def handle_ingest(self, body: bytes) -> Payload:
+        self.ingest_requests += 1
+        try:
+            doc = json.loads(body.decode("utf-8"))
+            index = int(doc["index"])
+            pages = [Page.from_url(str(p["url"]), str(p["text"]))
+                     for p in doc["pages"]]
+            snapshot = Snapshot(index, pages)
+        except (ValueError, KeyError, TypeError) as exc:
+            return 400, {"error": "bad snapshot document: expected "
+                                  '{"index": n, "pages": [{"url", '
+                                  '"text"}, ...]} — ' + str(exc)}
+        if not self.queue.push(snapshot, block=False):
+            return 429, {"error": "ingest queue full — backpressure",
+                         "queue": self.queue.describe()}
+        return 202, {"queued": True, "index": index,
+                     "pages": len(snapshot),
+                     "queue": self.queue.describe()}
+
+    def handle_views(self) -> Payload:
+        return 200, {"views": self.registry.describe()}
+
+    def handle_healthz(self) -> Payload:
+        views = {
+            view.config.name: {
+                "healthy": view.healthy,
+                "quarantined": len(view.quarantine),
+                "generation": (view.generation.gen_id
+                               if view.generation is not None else None),
+            }
+            for view in self.registry.views()
+        }
+        ok = self.registry.healthy and self.loop.running
+        status = "ok" if ok else "degraded"
+        reasons = []
+        if not self.loop.running:
+            reasons.append("ingest loop not running")
+        for name, info in views.items():
+            if not info["healthy"]:
+                reasons.append(f"view {name!r} has "
+                               f"{info['quarantined']} quarantined "
+                               "snapshot(s)")
+        return (200 if ok else 503), {"status": status,
+                                      "reasons": reasons,
+                                      "views": views}
+
+    def handle_metrics(self) -> Payload:
+        views = {}
+        for view in self.registry.views():
+            generation = view.generation
+            last = view.history[-1] if view.history else None
+            views[view.config.name] = {
+                "config": view.config.to_dict(),
+                "healthy": view.healthy,
+                "generation": (generation.describe()
+                               if generation is not None else None),
+                "quarantined": list(view.quarantine),
+                "last_apply": last.to_dict() if last is not None else None,
+                "applies": [record.to_dict() for record in view.history],
+            }
+        return 200, {
+            "uptime_seconds": time.time() - self.started_at,
+            "queries_served": self.queries_served,
+            "ingest_requests": self.ingest_requests,
+            "ingest": self.loop.describe(),
+            "spool": (self.watcher.describe()
+                      if self.watcher is not None else None),
+            "views": views,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON shim over :class:`ServeApp`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib contract
+        parsed = urlparse(self.path)
+        params = {key: values[-1] for key, values
+                  in parse_qs(parsed.query).items()}
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/":
+            status, payload = self.app.handle_root()
+        elif route == "/query":
+            status, payload = self.app.handle_query(params)
+        elif route == "/views":
+            status, payload = self.app.handle_views()
+        elif route == "/healthz":
+            status, payload = self.app.handle_healthz()
+        elif route == "/metrics":
+            status, payload = self.app.handle_metrics()
+        else:
+            status, payload = 404, {"error": f"no route {parsed.path!r}"}
+        self._send(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib contract
+        parsed = urlparse(self.path)
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        if parsed.path.rstrip("/") == "/ingest":
+            status, payload = self.app.handle_ingest(body)
+        else:
+            status, payload = 404, {"error": f"no route {parsed.path!r}"}
+        self._send(status, payload)
+
+
+class ExtractionServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the app reference."""
+
+    daemon_threads = True
+    verbose = False
+
+    def __init__(self, address, app: ServeApp) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+def build_server(app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 0) -> ExtractionServer:
+    """Bind (port 0 = ephemeral) without starting the serve loop."""
+    return ExtractionServer((host, port), app)
+
+
+def serve_in_thread(app: ServeApp, host: str = "127.0.0.1",
+                    port: int = 0
+                    ) -> Tuple[ExtractionServer, threading.Thread]:
+    """Start app + HTTP server on a daemon thread; returns both.
+
+    The test-suite/embedding entry point: the caller talks to
+    ``server.server_address`` and later calls ``server.shutdown()``
+    then ``app.shutdown()``.
+    """
+    app.start()
+    server = build_server(app, host, port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve-http", daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,284 @@
+"""Generation-versioned tuple store for materialized extracted views.
+
+The serving problem has a classic consistency hazard: a snapshot apply
+replaces some pages' tuples while query threads are mid-read, and a
+naive shared dict would let one response mix generation *n* rows for
+page A with generation *n+1* rows for page B. The store solves it the
+database way — multi-version concurrency with a single atomic swap:
+
+* every applied snapshot builds a fresh, immutable
+  :class:`Generation`: the per-page row map (``did -> relation ->
+  rows``) plus a precomputed sorted relation index for pagination;
+* unchanged pages' row lists are *shared by reference* with the
+  previous generation (applying a snapshot is O(changed pages +
+  total relation size for the index), never O(corpus text));
+* publication is one reference assignment under a lock
+  (:meth:`TupleStore.apply_delta`); readers take the current reference
+  once (:meth:`TupleStore.current`) and do the entire query off that
+  frozen object. A reader therefore always sees exactly one
+  generation, even while the writer publishes the next one.
+
+The writer side is single-writer by contract — the ingest loop
+(:mod:`repro.serve.ingest`) is the only caller of ``apply_delta`` —
+which keeps the generation sequence linear without any writer-side
+coordination.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def _sort_key(tup: tuple) -> str:
+    """Total, deterministic order for canonical tuples.
+
+    Canonical tuples are nested (var, value) pairs whose values mix
+    strings, numbers, and span triples; ``repr`` gives a total order
+    that is stable across processes (no hash randomization) — which is
+    all pagination needs.
+    """
+    return repr(tup)
+
+
+def tuple_to_json(tup: tuple) -> Dict[str, object]:
+    """One canonical tuple as a JSON-friendly field map.
+
+    Span values ``(start, end, text)`` become ``{"start", "end",
+    "text"}`` objects; scalars pass through. The inverse is not needed
+    anywhere — responses are for consumption, the store itself always
+    holds canonical tuples.
+    """
+    out: Dict[str, object] = {}
+    for var, value in tup:
+        if (isinstance(value, tuple) and len(value) == 3
+                and isinstance(value[0], int) and isinstance(value[1], int)
+                and isinstance(value[2], str)):
+            out[var] = {"start": value[0], "end": value[1],
+                        "text": value[2]}
+        else:
+            out[var] = value
+    return out
+
+
+def _tuple_text(tup: tuple) -> str:
+    """All text content of a tuple, for substring filtering."""
+    parts: List[str] = []
+    for _var, value in tup:
+        if isinstance(value, tuple) and len(value) == 3:
+            parts.append(str(value[2]))
+        else:
+            parts.append(str(value))
+    return " ".join(parts)
+
+
+def _field_value(tup: tuple, var: str) -> Optional[str]:
+    """The textual value of one field (span text for spans)."""
+    for name, value in tup:
+        if name != var:
+            continue
+        if isinstance(value, tuple) and len(value) == 3:
+            return str(value[2])
+        return str(value)
+    return None
+
+
+@dataclass(frozen=True)
+class Generation:
+    """One immutable published state of a view.
+
+    ``gen_id`` increases by one per successful apply (independent of
+    snapshot indexes, which may skip after a quarantine).
+    ``page_rows`` maps ``did -> relation -> rows`` with rows in the
+    producing run's emission order; ``relations`` is the deduplicated,
+    deterministically sorted union per relation — the pagination
+    index. Both are frozen at build time and never mutated.
+    """
+
+    gen_id: int
+    snapshot_index: int
+    page_rows: Mapping[str, Mapping[str, Tuple[tuple, ...]]]
+    relations: Mapping[str, Tuple[tuple, ...]]
+    created_at: float
+    pages_total: int
+    pages_replaced: int
+    pages_deleted: int
+    pages_kept: int
+
+    def total_tuples(self) -> int:
+        return sum(len(rows) for rows in self.relations.values())
+
+    def canonical(self) -> Dict[str, frozenset]:
+        """Order-insensitive relation view (the Theorem 1 shape)."""
+        return {rel: frozenset(rows)
+                for rel, rows in self.relations.items()}
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "generation": self.gen_id,
+            "snapshot_index": self.snapshot_index,
+            "created_at": self.created_at,
+            "pages": self.pages_total,
+            "pages_replaced": self.pages_replaced,
+            "pages_deleted": self.pages_deleted,
+            "pages_kept": self.pages_kept,
+            "tuples": self.total_tuples(),
+            "relations": {rel: len(rows)
+                          for rel, rows in sorted(self.relations.items())},
+        }
+
+
+@dataclass
+class QueryResult:
+    """One consistent read: everything comes from a single generation."""
+
+    view: str
+    generation: int
+    snapshot_index: int
+    relation: str
+    total: int
+    offset: int
+    limit: int
+    tuples: List[tuple] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "view": self.view,
+            "generation": self.generation,
+            "snapshot_index": self.snapshot_index,
+            "relation": self.relation,
+            "total": self.total,
+            "offset": self.offset,
+            "limit": self.limit,
+            "count": len(self.tuples),
+            "tuples": [tuple_to_json(t) for t in self.tuples],
+        }
+
+
+class EmptyViewError(LookupError):
+    """Query against a view with no published generation yet."""
+
+
+class UnknownRelationError(KeyError):
+    """Query names a relation the view's program does not define."""
+
+
+class TupleStore:
+    """Holds the current :class:`Generation` of one view.
+
+    Thread-safety contract: any number of reader threads may call
+    :meth:`current`/:meth:`query` concurrently with one writer thread
+    calling :meth:`apply_delta`. Readers are wait-free after the one
+    reference read; the writer builds the next generation entirely
+    off-line and publishes it with a single swap.
+    """
+
+    def __init__(self, view: str, relations: Sequence[str]) -> None:
+        self.view = view
+        #: The program's head relations — the query schema, fixed at
+        #: registration so an empty view still rejects bad relation
+        #: names precisely.
+        self.schema = tuple(relations)
+        self._lock = threading.Lock()
+        self._current: Optional[Generation] = None
+        self._gen_counter = 0
+
+    # -- reader side ------------------------------------------------------
+
+    def current(self) -> Optional[Generation]:
+        """The published generation (None before the first apply)."""
+        with self._lock:
+            return self._current
+
+    def query(self, relation: str, offset: int = 0, limit: int = 50,
+              contains: Optional[str] = None,
+              field_filters: Optional[Mapping[str, str]] = None
+              ) -> QueryResult:
+        """Paginated, filtered read of one relation.
+
+        ``contains`` keeps tuples whose concatenated text contains the
+        substring (case-insensitive); ``field_filters`` keeps tuples
+        whose named field's text equals the given value exactly.
+        Filters run over the generation's precomputed sorted index, so
+        two queries with the same parameters against the same
+        generation return identical pages.
+        """
+        generation = self.current()
+        if generation is None:
+            raise EmptyViewError(
+                f"view {self.view!r} has no generation yet")
+        if relation not in self.schema:
+            raise UnknownRelationError(
+                f"view {self.view!r} has no relation {relation!r}; "
+                f"schema is {self.schema}")
+        rows: Sequence[tuple] = generation.relations.get(relation, ())
+        if contains:
+            needle = contains.lower()
+            rows = [t for t in rows if needle in _tuple_text(t).lower()]
+        if field_filters:
+            for var, want in field_filters.items():
+                rows = [t for t in rows if _field_value(t, var) == want]
+        offset = max(0, offset)
+        limit = max(0, limit)
+        return QueryResult(
+            view=self.view, generation=generation.gen_id,
+            snapshot_index=generation.snapshot_index, relation=relation,
+            total=len(rows), offset=offset, limit=limit,
+            tuples=list(rows[offset:offset + limit]))
+
+    # -- writer side (single writer: the ingest loop) --------------------
+
+    def apply_delta(self, snapshot_index: int,
+                    upserts: Mapping[str, Mapping[str, Sequence[tuple]]],
+                    deletes: Iterable[str] = ()) -> Generation:
+        """Build and atomically publish the next generation.
+
+        ``upserts`` maps changed/new page dids to their new per-
+        relation rows (:mod:`repro.reuse.attribution` shape);
+        ``deletes`` lists dids that left the corpus. Every other
+        page's rows are carried over *by reference* from the current
+        generation. The swap is the last statement — on any exception
+        before it the store still serves the previous generation
+        untouched, which is what makes the ingest loop's quarantine
+        path safe.
+        """
+        previous = self.current()
+        page_rows: Dict[str, Mapping[str, Tuple[tuple, ...]]] = (
+            dict(previous.page_rows) if previous is not None else {})
+        deleted = 0
+        for did in deletes:
+            if page_rows.pop(did, None) is not None:
+                deleted += 1
+        replaced = 0
+        for did, rels in upserts.items():
+            page_rows[did] = {rel: tuple(rows)
+                              for rel, rows in rels.items()}
+            replaced += 1
+        relations: Dict[str, Tuple[tuple, ...]] = {}
+        for rel in self.schema:
+            seen = set()
+            merged: List[tuple] = []
+            for did in page_rows:
+                for tup in page_rows[did].get(rel, ()):
+                    if tup not in seen:
+                        seen.add(tup)
+                        merged.append(tup)
+            merged.sort(key=_sort_key)
+            relations[rel] = tuple(merged)
+        generation = Generation(
+            gen_id=self._gen_counter + 1,
+            snapshot_index=snapshot_index,
+            page_rows=page_rows,
+            relations=relations,
+            created_at=time.time(),
+            pages_total=len(page_rows),
+            pages_replaced=replaced,
+            pages_deleted=deleted,
+            pages_kept=len(page_rows) - replaced,
+        )
+        with self._lock:
+            self._gen_counter = generation.gen_id
+            self._current = generation
+        return generation

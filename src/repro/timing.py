@@ -85,6 +85,22 @@ class Timings:
             "total": self.total,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the shared ``to_dict`` contract).
+
+        The decomposition row plus — when attached — the nested
+        runtime and fast-path telemetry, each through its own
+        ``to_dict``. This is what ``repro run --metrics-json`` and the
+        serving layer's ``/metrics`` endpoint emit; everything in the
+        returned mapping is plain JSON types.
+        """
+        out: Dict[str, object] = dict(self.as_row())
+        if self.runtime is not None:
+            out["runtime"] = self.runtime.to_dict()
+        if self.fastpath is not None:
+            out["fastpath"] = self.fastpath.to_dict()
+        return out
+
 
 class Timer:
     """Accumulates time into a :class:`Timings` object.
