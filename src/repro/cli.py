@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     python -m repro tasks                      # list evaluation tasks
     python -m repro inspect --task play        # program, units, chains
@@ -10,6 +10,7 @@ Seven subcommands::
         --systems noreuse,delex                # run systems, print table
     python -m repro check --seed 0 --budget 60 # differential oracle sweep
     python -m repro serve --demo --port 8800   # incremental serving API
+    python -m repro obs report --metrics-json m.json   # render telemetry
     python -m repro report                     # aggregate bench tables
 
 The ``run`` command verifies Theorem 1 (all systems produce identical
@@ -106,14 +107,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         snapshots = list(factory(n_pages=12, seed=0).snapshots(3))
         print("no --store given: using a generated 12-page, "
               "3-snapshot demo corpus\n")
+    from . import obs
     from .check import invariants
 
-    with tempfile.TemporaryDirectory() as workdir:
-        with invariants.checking(getattr(args, "check", "off") == "on"):
-            reports = run_series(task, snapshots, systems=systems,
-                                 workdir=workdir, jobs=args.jobs,
-                                 backend=args.backend,
-                                 fastpath=args.fastpath)
+    # Observability setup (all off by default; zero hot-path cost).
+    tracer = None
+    profiler = None
+    if getattr(args, "trace_out", None):
+        tracer = obs.trace.install(sample=args.trace_sample)
+    if getattr(args, "profile", "off") == "on":
+        profiler = obs.profile.install(top_k=args.top_pages)
+    if getattr(args, "metrics_json", None):
+        obs.registry.enable()
+    try:
+        with tempfile.TemporaryDirectory() as workdir:
+            with invariants.checking(
+                    getattr(args, "check", "off") == "on"):
+                reports = run_series(task, snapshots, systems=systems,
+                                     workdir=workdir, jobs=args.jobs,
+                                     backend=args.backend,
+                                     fastpath=args.fastpath)
+    except BaseException:
+        obs.disable_all()
+        raise
     problems = verify_agreement(reports) if "noreuse" in systems else []
     print(f"task {task.name} over {len(snapshots)} snapshots "
           f"({len(snapshots[0])} pages each)\n")
@@ -146,9 +162,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for line in fastpath_lines:
             print(line)
     if getattr(args, "metrics_json", None):
+        obs_doc = {"registry": obs.REGISTRY.to_dict()}
+        if profiler is not None:
+            obs_doc["profile"] = profiler.to_dict()
         _dump_metrics_json(args.metrics_json, task, snapshots, systems,
-                           reports)
+                           reports, obs_doc=obs_doc)
         print(f"\nmetrics written to {args.metrics_json}")
+    if tracer is not None:
+        spans = tracer.export_chrome(args.trace_out)
+        print(f"trace written to {args.trace_out} ({spans} spans; "
+              "open at chrome://tracing or ui.perfetto.dev)")
+    if profiler is not None and not getattr(args, "metrics_json", None):
+        slow = profiler.slow_pages()[:3]
+        if slow:
+            print("\nslowest pages: " + ", ".join(
+                f"{p['did']} ({p['seconds']:.3f}s)" for p in slow))
+    obs.disable_all()
     if "noreuse" in systems:
         print("\nresult agreement:",
               "OK" if not problems else f"MISMATCH {problems[:3]}")
@@ -158,14 +187,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _dump_metrics_json(path: str, task, snapshots, systems,
-                       reports) -> None:
+                       reports, obs_doc=None) -> None:
     """Write the run's full telemetry as one JSON document.
 
     Per system: total seconds, the mean Figure 11 decomposition, and a
     per-snapshot list of ``Timings.to_dict()`` (which nests
     ``RuntimeMetrics``/``FastPathStats`` when attached) plus mention
     counts — the same shapes the serving layer's ``/metrics`` endpoint
-    exports.
+    exports. ``obs_doc`` (the metrics registry dump and, when
+    profiling, the profiler dump) lands under the ``obs`` key — the
+    JSON superset of the Prometheus exposition.
     """
     import json
 
@@ -175,6 +206,8 @@ def _dump_metrics_json(path: str, task, snapshots, systems,
         "n_pages": len(snapshots[0]) if snapshots else 0,
         "systems": {},
     }
+    if obs_doc:
+        doc["obs"] = obs_doc
     for s in systems:
         report = reports[s]
         doc["systems"][s] = {
@@ -297,11 +330,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 _json.dump(status, f, indent=2)
                 f.write("\n")
             print(f"status written to {args.status_json}")
+        if args.prom_out:
+            _, exposition = app.handle_metrics_prom()
+            with open(args.prom_out, "w", encoding="utf-8") as f:
+                f.write(exposition)
+            print(f"prometheus exposition written to {args.prom_out}")
         app.shutdown()
         if own_workdir:
             shutil.rmtree(workdir, ignore_errors=True)
         # Give daemon HTTP worker threads a beat to unwind.
         time.sleep(0.05)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Render telemetry files (``repro obs report``)."""
+    from .obs import report as obs_report
+
+    if args.action != "report":  # argparse enforces; belt and braces
+        print(f"error: unknown obs action {args.action!r}",
+              file=sys.stderr)
+        return 2
+    paths = [p for p in (args.metrics_json, args.trace) if p]
+    if not paths:
+        print("error: pass --metrics-json PATH and/or --trace PATH",
+              file=sys.stderr)
+        return 2
+    for i, path in enumerate(paths):
+        if not os.path.exists(path):
+            print(f"error: no such file {path!r}", file=sys.stderr)
+            return 2
+        try:
+            doc = obs_report.load_document(path)
+            rendered = obs_report.render_report(doc, top=args.top)
+        except ValueError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        if i:
+            print()
+        print(rendered, end="")
     return 0
 
 
@@ -392,8 +459,25 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default on)")
     run.add_argument("--metrics-json", default=None, metavar="PATH",
                      help="after the run, dump per-system per-snapshot "
-                          "timings, runtime telemetry, and fast-path "
-                          "counters as JSON to PATH")
+                          "timings, runtime telemetry, fast-path "
+                          "counters, and the obs metrics registry as "
+                          "JSON to PATH")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="record hierarchical spans (snapshot > page "
+                          "> unit > batch) and write a Chrome "
+                          "trace_event JSON file to PATH")
+    run.add_argument("--trace-sample", type=float, default=1.0,
+                     help="keep every 1/SAMPLE-th high-volume span "
+                          "(pages, units, batches); snapshot spans are "
+                          "always kept (default 1.0 = keep all)")
+    run.add_argument("--profile", default="off", choices=("on", "off"),
+                     help="per-IE-unit and per-matcher wall/CPU "
+                          "accounting plus a slowest-pages log; "
+                          "results are identical either way "
+                          "(default off)")
+    run.add_argument("--top-pages", type=int, default=10,
+                     help="slow-page log size for --profile "
+                          "(default 10)")
 
     check = sub.add_parser(
         "check", help="differential correctness sweep (fuzz + oracle)",
@@ -494,6 +578,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--status-json", default=None, metavar="PATH",
                        help="on shutdown, dump /healthz + /metrics "
                             "JSON to PATH")
+    serve.add_argument("--prom-out", default=None, metavar="PATH",
+                       help="on shutdown, dump the Prometheus text "
+                            "exposition (same payload as "
+                            "/metrics?format=prometheus) to PATH")
+
+    obs = sub.add_parser(
+        "obs", help="observability utilities",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  repro run --task play --metrics-json m.json "
+               "--profile on\n"
+               "  repro obs report --metrics-json m.json\n"
+               "      (figure-11 decomposition table + slowest pages "
+               "/ costliest units)\n"
+               "  repro run --task play --trace-out t.json\n"
+               "  repro obs report --trace t.json")
+    obs.add_argument("action", choices=("report",),
+                     help="report: render a metrics-json or trace file")
+    obs.add_argument("--metrics-json", default=None, metavar="PATH",
+                     help="a `repro run --metrics-json` document")
+    obs.add_argument("--trace", default=None, metavar="PATH",
+                     help="a `repro run --trace-out` Chrome trace file")
+    obs.add_argument("--top", type=int, default=10,
+                     help="rows per ranking table (default 10)")
 
     report = sub.add_parser("report",
                             help="print all rendered benchmark tables")
@@ -514,6 +622,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "check": _cmd_check,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
     "report": _cmd_report,
 }
 

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask, make_task
 from ..fastpath.config import FastPathConfig
+from ..obs import registry as _oreg
 from ..plan.compile import compile_program
 from ..reuse.engine import PlanAssignment, SnapshotRunResult
 from ..runtime.executor import Executor, make_executor
@@ -167,6 +168,8 @@ def run_series(task: IETask, snapshots: Sequence[Snapshot],
             prev: Optional[Snapshot] = None
             for snapshot in snapshots:
                 result = instance.process(snapshot, prev)
+                if _oreg.ENABLED:  # publish point: once per snapshot
+                    _oreg.publish_timings(system_name, result.timings)
                 report.snapshots.append(SnapshotReport(
                     snapshot_index=snapshot.index,
                     seconds=result.timings.total,

@@ -112,7 +112,11 @@ def write_snapshot(snapshot: Snapshot, path: str) -> None:
 
 
 def iter_snapshot_pages(path: str) -> Iterator[Page]:
-    """Stream pages from a snapshot file without loading it whole."""
+    """Stream pages from a snapshot file without loading it whole.
+
+    Raises :class:`ValueError` when a page body is shorter than its
+    header's ``nbytes`` — the signature of a file torn mid-write.
+    """
     with open(path, "rb") as f:
         f.readline()  # snapshot header
         while True:
@@ -120,17 +124,38 @@ def iter_snapshot_pages(path: str) -> Iterator[Page]:
             if not line:
                 return
             header = json.loads(line)
-            body = f.read(header["nbytes"]).decode("utf-8")
+            raw = f.read(header["nbytes"])
+            if len(raw) != header["nbytes"]:
+                raise ValueError(
+                    f"truncated snapshot file {path!r}: page "
+                    f"{header.get('did')!r} body is {len(raw)} bytes, "
+                    f"header declares {header['nbytes']}")
+            body = raw.decode("utf-8")
             f.read(1)  # trailing newline
             yield Page(did=header["did"], url=header["url"], text=body,
                        fp=header.get("fp", ""))
 
 
 def read_snapshot(path: str) -> Snapshot:
-    """Load a snapshot file fully into memory."""
+    """Load a snapshot file fully into memory.
+
+    Validates the page count against the file header's ``pages``
+    field. Before this check a snapshot file torn between page records
+    — a producer writing the final name directly instead of the
+    write-then-``os.replace`` protocol — parsed *successfully* with
+    fewer pages, and the serve ingest path would happily publish the
+    short corpus. Now truncation is a :class:`ValueError`, which the
+    spool watcher treats as "partially written, retry next sweep".
+    """
     with open(path, "rb") as f:
         meta = json.loads(f.readline())
-    return Snapshot(meta["index"], list(iter_snapshot_pages(path)))
+    pages = list(iter_snapshot_pages(path))
+    declared = meta.get("pages")
+    if declared is not None and len(pages) != declared:
+        raise ValueError(
+            f"truncated snapshot file {path!r}: read {len(pages)} "
+            f"pages, header declares {declared}")
+    return Snapshot(meta["index"], pages)
 
 
 def snapshot_from_texts(index: int, texts: Dict[str, str],

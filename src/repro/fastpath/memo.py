@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..check import invariants as _inv
 from ..matchers.base import Matcher
+from ..obs import trace as _otrace
 from ..matchers.st import SuffixAutomaton
 from ..text.regions import MatchSegment
 from ..text.span import Interval
@@ -89,9 +90,13 @@ class MatchMemo:
                 self._cost[key] = time.perf_counter() - start
                 self._memo[key] = segments
                 self.stats.memo_misses += 1
+                if _otrace.ENABLED:  # annotate the enclosing page span
+                    _otrace.annotate("memo_misses")
             else:
                 self.stats.memo_hits += 1
                 self.stats.memo_seconds_saved += self._cost.get(key, 0.0)
+                if _otrace.ENABLED:
+                    _otrace.annotate("memo_hits")
                 if _inv.ENABLED:
                     # Memo-hit retag soundness: the replayed segments
                     # must still witness text equality inside both

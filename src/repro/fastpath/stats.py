@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict
 
+from ..obs.util import safe_rate
+
 
 @dataclass
 class FastPathStats:
@@ -52,14 +54,13 @@ class FastPathStats:
 
     @property
     def memo_hit_rate(self) -> float:
-        calls = self.memo_hits + self.memo_misses
-        return self.memo_hits / calls if calls else 0.0
+        """Hits over total memo lookups; 0.0 when nothing was looked up."""
+        return safe_rate(self.memo_hits, self.memo_hits + self.memo_misses)
 
     @property
     def unchanged_fraction(self) -> float:
-        if self.pages_paired == 0:
-            return 0.0
-        return self.pages_short_circuited / self.pages_paired
+        """Short-circuited over paired pages; 0.0 with no pairs."""
+        return safe_rate(self.pages_short_circuited, self.pages_paired)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (the shared ``to_dict`` contract)."""

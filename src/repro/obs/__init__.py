@@ -1,0 +1,52 @@
+"""repro.obs — unified observability: metrics, tracing, profiling.
+
+The measurement substrate for everything the paper's evaluation (and
+the ROADMAP's production north star) needs to *see*:
+
+* :mod:`.registry` — a process-wide metrics registry (counters,
+  gauges, fixed-bucket histograms, optional labels) that the timing
+  decomposition, the execution runtime, the fast-path layer, and the
+  serving stack all publish into; exported as Prometheus text
+  (``repro serve`` → ``/metrics?format=prometheus``) and as a JSON
+  superset (``repro run --metrics-json``).
+* :mod:`.trace` — hierarchical span tracing (snapshot → batch → page
+  → IE unit) with sampling, a bounded ring buffer, per-span attribute
+  bags, and Chrome ``trace_event`` export (``repro run --trace-out``).
+* :mod:`.profile` — opt-in per-IE-unit and per-matcher wall/CPU
+  accounting plus a top-K slowest-pages log (``repro run --profile``).
+* :mod:`.report` — ``repro obs report``: render the Figure 11
+  decomposition table and the slowest pages/units from a metrics-json
+  or trace file.
+* :mod:`.util` — :func:`~repro.obs.util.safe_rate`, the shared guard
+  every derived rate (pages/sec, qps, hit rates, utilization) routes
+  through so zero/empty denominators yield 0.0 instead of raising or
+  emitting ``nan``.
+
+Zero-cost contract (the :mod:`repro.check.invariants` pattern): every
+instrumentation site guards on one module attribute
+(``registry.ENABLED`` / ``trace.ENABLED`` / ``profile.ENABLED``), all
+off by default; none of the recorded numbers feed back into
+execution, so extraction output is byte-identical with observability
+on or off (pinned by the obs test suite via the same canonical-result
+comparison the ``repro.check`` oracle uses).
+"""
+
+from . import profile, registry, trace
+from .registry import REGISTRY, MetricsRegistry
+from .util import safe_rate
+
+__all__ = [
+    "registry",
+    "trace",
+    "profile",
+    "REGISTRY",
+    "MetricsRegistry",
+    "safe_rate",
+]
+
+
+def disable_all() -> None:
+    """Switch every obs layer off (test/CLI cleanup)."""
+    registry.disable()
+    trace.uninstall()
+    profile.uninstall()

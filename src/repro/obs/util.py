@@ -1,0 +1,44 @@
+"""Shared numeric guards for derived telemetry.
+
+Every rate, ratio, and utilization the telemetry layers derive
+(pages/sec, qps, memo hit-rate, worker utilization, histogram means)
+routes through :func:`safe_rate` so a zero or degenerate denominator —
+an instant run, an empty counter, a clock that has not advanced —
+yields ``0.0`` instead of raising ``ZeroDivisionError`` or leaking
+``nan``/``inf`` into ``/metrics`` and the Prometheus exposition.
+
+This module is dependency-free on purpose: the runtime, fast-path,
+and serving layers all import it, so anything heavier would be a
+package cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["safe_rate", "finite_or_zero"]
+
+
+def safe_rate(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with degenerate inputs mapped to 0.0.
+
+    Returns 0.0 when the denominator is zero, negative, ``nan``, or
+    infinite, and when the quotient itself is not finite. Never raises.
+    """
+    try:
+        if denominator is None or not math.isfinite(denominator):
+            return 0.0
+        if denominator <= 0:
+            return 0.0
+        value = numerator / denominator
+    except (TypeError, ZeroDivisionError):
+        return 0.0
+    return value if math.isfinite(value) else 0.0
+
+
+def finite_or_zero(value: float) -> float:
+    """``value`` if it is a finite number, else 0.0 (never nan/inf)."""
+    try:
+        return value if math.isfinite(value) else 0.0
+    except TypeError:
+        return 0.0

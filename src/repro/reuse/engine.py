@@ -43,6 +43,8 @@ from ..fastpath.stats import FastPathStats
 from ..matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME, MatchCache
 from ..matchers.registry import make_matcher
 from ..matchers.ws import WS_NAME
+from ..obs import profile as _oprof
+from ..obs import trace as _otrace
 from ..plan.compile import CompiledPlan
 from ..plan.operators import (
     IENode,
@@ -318,6 +320,16 @@ class PageEvaluator:
         matcher_name = self.assignment.of(unit)
         ctx = EvalContext(page.text, page.did)
 
+        # Opt-in observability (off by default: one module-attribute
+        # check per unit run). Wall/CPU per unit feeds `repro obs
+        # report`; the unit span carries the matcher chosen and the
+        # copy/fresh split so a trace explains where the time went.
+        _obs = _oprof.ENABLED or _otrace.ENABLED
+        if _obs:
+            _w0 = time.perf_counter()
+            _c0 = time.process_time()
+            _copied0 = unit_stats.copied_tuples
+
         # A match shorter than 2β + 2 enables no copying, so ST skips
         # such segments — but large-β units (CRFs) still benefit from
         # full-region matches of short regions, hence the cap.
@@ -375,6 +387,9 @@ class PageEvaluator:
                 else:
                     candidates = {pi.tid: pi for pi in prev_inputs
                                   if pi.c == c}
+                    if _oprof.ENABLED:
+                        _m0 = time.perf_counter()
+                        _mc0 = time.process_time()
                     with timer.measure(MATCH):
                         unit_stats.matcher_calls += len(candidates)
                         cand_regions = {tid: pi.interval
@@ -393,6 +408,10 @@ class PageEvaluator:
                             # Fresh matching work (ST/UD/plug-ins like
                             # WS) is recorded for RU units to recycle.
                             cache.record(segments)
+                    if _oprof.ENABLED:
+                        _oprof.record_matcher(
+                            matcher_name, time.perf_counter() - _m0,
+                            time.process_time() - _mc0)
                     with timer.measure(COPY):
                         derivation = derive_reuse(
                             region.interval, page.did, segments,
@@ -443,6 +462,17 @@ class PageEvaluator:
                     out_rows.append(dict(ext))
                 else:
                     out_rows.append({**row, **ext})
+        if _obs:
+            _wall = time.perf_counter() - _w0
+            if _oprof.ENABLED:
+                _oprof.record_unit(unit.uid, _wall,
+                                   time.process_time() - _c0)
+            if _otrace.ENABLED:
+                _otrace.event("unit", cat="unit", start=_w0, dur=_wall,
+                              uid=unit.uid, matcher=matcher_name,
+                              rows_in=len(input_rows),
+                              rows_out=len(out_rows),
+                              copied=unit_stats.copied_tuples - _copied0)
         if _inv.ENABLED:
             # --check layer: every span the unit emits stays inside
             # the page it was emitted for.
@@ -527,9 +557,17 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
                 if entry is not None:
                     prev_capture[uid] = (
                         entry[0], group_outputs_by_input(entry[1]))
-        page_rows = evaluator.run_page(page, q_page, prev_capture, sink,
-                                       stats, timer, cache=MatchCache(),
-                                       fp_stats=fp_stats)
+        if _oprof.ENABLED:
+            _p0 = time.perf_counter()
+        with (_otrace.span("page", cat="page", did=page.did,
+                           paired=q_page is not None)
+              if _otrace.ENABLED else _otrace.NULL):
+            page_rows = evaluator.run_page(page, q_page, prev_capture,
+                                           sink, stats, timer,
+                                           cache=MatchCache(),
+                                           fp_stats=fp_stats)
+        if _oprof.ENABLED:
+            _oprof.record_page(page.did, time.perf_counter() - _p0)
         page_rel_rows.append((page.did, {
             rel: materialize_rows(rows, page.text)
             for rel, rows in page_rows.items()}))
@@ -604,8 +642,15 @@ class ReuseEngine:
                     and len(pages) > 1)
         fp_stats = FastPathStats()
         self.scope.begin_snapshot(prev_snapshot)
+        # Root trace span: one per snapshot run (never sampled away),
+        # carrying the page count and the fast-path outcome so a trace
+        # alone explains why this snapshot was fast or slow.
+        _snap = (_otrace.span("snapshot", cat="snapshot",
+                              index=snapshot.index, pages=len(pages),
+                              parallel=parallel)
+                 if _otrace.ENABLED else _otrace.NULL)
         try:
-            with timer.measure_total():
+            with _snap, timer.measure_total():
                 if parallel:
                     pages_with_prev = self._run_parallel(
                         pages, have_prev, prev_dir, writers, stats,
@@ -614,6 +659,10 @@ class ReuseEngine:
                     pages_with_prev = self._run_serial(
                         pages, have_prev, prev_dir, writers, stats,
                         results, timer, fp_stats, page_rows_out)
+                _snap.set("pages_with_prev", pages_with_prev)
+                _snap.set("short_circuited",
+                          fp_stats.pages_short_circuited)
+                _snap.set("memo_hits", fp_stats.memo_hits)
         finally:
             for wi, wo in writers.values():
                 wi.close()
@@ -695,11 +744,19 @@ class ReuseEngine:
                 if q_page is not None:
                     pages_with_prev += 1
                 sink.begin_page(page.did)
-                prev_capture = self._read_prev_capture(q_page, readers,
-                                                       memory, timer)
-                page_rows = self.evaluator.run_page(
-                    page, q_page, prev_capture, sink, stats, timer,
-                    cache=MatchCache(), fp_stats=fp_stats)
+                if _oprof.ENABLED:
+                    _p0 = time.perf_counter()
+                with (_otrace.span("page", cat="page", did=page.did,
+                                   paired=q_page is not None)
+                      if _otrace.ENABLED else _otrace.NULL):
+                    prev_capture = self._read_prev_capture(
+                        q_page, readers, memory, timer)
+                    page_rows = self.evaluator.run_page(
+                        page, q_page, prev_capture, sink, stats, timer,
+                        cache=MatchCache(), fp_stats=fp_stats)
+                if _oprof.ENABLED:
+                    _oprof.record_page(page.did,
+                                       time.perf_counter() - _p0)
                 materialized = {rel: materialize_rows(rows, page.text)
                                 for rel, rows in page_rows.items()}
                 if page_rows_out is not None:

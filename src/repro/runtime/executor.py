@@ -32,6 +32,8 @@ import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs import trace as _otrace
+
 BACKEND_NAMES = ("auto", "serial", "thread", "process")
 
 #: Blackbox ``work_factor`` at which the auto-chooser switches from
@@ -56,14 +58,20 @@ def _run_installed(item: Any) -> Tuple[float, Any]:
     assert _WORKER_FN is not None, "worker pool not initialized"
     start = time.perf_counter()
     value = _WORKER_FN(_WORKER_STATE, item)
-    return (time.perf_counter() - start, value)
+    seconds = time.perf_counter() - start
+    if _otrace.ENABLED:  # tracer installed in this worker process only
+        _otrace.event("batch", cat="batch", start=start, dur=seconds)
+    return (seconds, value)
 
 
 def _timed_call(fn: Callable[[Any, Any], Any], state: Any,
                 item: Any) -> Tuple[float, Any]:
     start = time.perf_counter()
     value = fn(state, item)
-    return (time.perf_counter() - start, value)
+    seconds = time.perf_counter() - start
+    if _otrace.ENABLED:  # one module-attribute check when tracing is off
+        _otrace.event("batch", cat="batch", start=start, dur=seconds)
+    return (seconds, value)
 
 
 class Executor(ABC):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.util import safe_rate
 from .scheduler import PageBatch
 
 
@@ -45,16 +46,18 @@ class RuntimeMetrics:
 
     @property
     def pages_per_second(self) -> float:
-        if self.wall_seconds <= 0:
-            return 0.0
-        return self.pages / self.wall_seconds
+        """Pages over wall seconds; 0.0 on a zero/degenerate clock."""
+        return safe_rate(self.pages, self.wall_seconds)
 
     @property
     def worker_utilization(self) -> float:
-        """Busy time over available worker time, in [0, 1]."""
-        if self.wall_seconds <= 0 or self.jobs <= 0:
-            return 0.0
-        return min(1.0, self.busy_seconds / (self.jobs * self.wall_seconds))
+        """Busy time over available worker time, in [0, 1].
+
+        0.0 whenever the denominator is degenerate (instant run,
+        ``jobs == 0``) — never a ``ZeroDivisionError`` or ``nan``.
+        """
+        return min(1.0, safe_rate(self.busy_seconds,
+                                  self.jobs * self.wall_seconds))
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (the shared ``to_dict`` contract)."""

@@ -30,7 +30,7 @@ Four layers, composed bottom-up:
 Everything is stdlib-only, like the rest of the repo.
 """
 
-from .ingest import IngestLoop, IngestQueue, SpoolWatcher
+from .ingest import IngestLoop, IngestQueue, SpoolWatcher, drop_snapshot
 from .server import ExtractionServer, ServeApp, build_server, serve_in_thread
 from .store import Generation, QueryResult, TupleStore, tuple_to_json
 from .views import (
@@ -52,6 +52,7 @@ __all__ = [
     "IngestQueue",
     "IngestLoop",
     "SpoolWatcher",
+    "drop_snapshot",
     "ServeApp",
     "ExtractionServer",
     "build_server",

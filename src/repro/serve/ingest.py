@@ -33,8 +33,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
-from ..corpus.snapshot import Snapshot, read_snapshot
+from ..corpus.snapshot import Snapshot, read_snapshot, write_snapshot
 from ..corpus.store import CorpusStore, _SNAPSHOT_RE
+from ..obs import registry as _oreg
 from .views import ViewRegistry
 
 #: How many recent per-snapshot lag records the loop keeps for
@@ -45,7 +46,13 @@ LAG_HISTORY = 64
 @dataclass(frozen=True)
 class _QueueItem:
     snapshot: Snapshot
+    #: Wall-clock enqueue timestamp — display/reporting only.
     enqueued_at: float
+    #: Monotonic enqueue timestamp — the only clock durations (queue
+    #: lag, apply seconds) are ever derived from. ``time.time()`` can
+    #: step backwards under NTP slew or a manual clock reset, which
+    #: used to yield negative lag values here.
+    enqueued_mono: float
 
 
 class IngestQueue:
@@ -70,7 +77,8 @@ class IngestQueue:
         ``block=False`` (the HTTP path) fails fast on a full queue;
         ``block=True`` (the spool watcher) waits up to ``timeout``.
         """
-        item = _QueueItem(snapshot=snapshot, enqueued_at=time.time())
+        item = _QueueItem(snapshot=snapshot, enqueued_at=time.time(),
+                          enqueued_mono=time.monotonic())
         try:
             self._queue.put(item, block=block, timeout=timeout)
         except queue.Full:
@@ -112,11 +120,12 @@ class IngestLoop:
         self.snapshots_applied = 0
         self.applies_failed = 0
         self.snapshots_quarantined = 0
+        self.stop_failures = 0
         self.last_applied_index: Optional[int] = None
         self.last_apply_at: Optional[float] = None
-        self.recent: Deque[Dict[str, object]] = deque(maxlen=LAG_HISTORY)
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self.recent: Deque[Dict[str, object]] = deque(maxlen=LAG_HISTORY)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -133,11 +142,30 @@ class IngestLoop:
                                         daemon=True)
         self._thread.start()
 
-    def stop(self, timeout: float = 10.0) -> None:
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Stop the apply loop; ``True`` when the thread actually exited.
+
+        The old signature returned ``None`` and silently dropped the
+        thread handle even when ``join`` timed out — a wedged apply
+        (e.g. a blocked apply hook) looked like a clean shutdown. Now a
+        failed join keeps the handle, counts a ``stop_failures``, warns
+        through the metrics registry, and returns ``False`` so callers
+        can escalate.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        if self._thread is None:
+            return True
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            self.stop_failures += 1
+            if _oreg.ENABLED:
+                _oreg.REGISTRY.inc(
+                    "repro_serve_stop_failures_total",
+                    help="stop() calls whose worker thread failed to "
+                         "exit within the timeout", component="ingest")
+            return False
+        self._thread = None
+        return True
 
     def drain(self, timeout: float = 60.0) -> bool:
         """Block until the queue is empty and the last item applied."""
@@ -160,17 +188,23 @@ class IngestLoop:
             self._busy = True
             try:
                 self.apply_one(item.snapshot,
-                               enqueued_at=item.enqueued_at)
+                               enqueued_at=item.enqueued_at,
+                               enqueued_mono=item.enqueued_mono)
             finally:
                 self._busy = False
 
     def apply_one(self, snapshot: Snapshot,
-                  enqueued_at: Optional[float] = None) -> bool:
+                  enqueued_at: Optional[float] = None,
+                  enqueued_mono: Optional[float] = None) -> bool:
         """Apply one snapshot to every view (also callable inline).
 
         Returns True when every view applied it cleanly; False when at
         least one view quarantined it. Per-view failures never
         propagate — serving continues on the previous generation.
+
+        ``enqueued_at`` (wall) is for display; ``enqueued_mono``
+        (monotonic) is what lag is computed from. Callers that only
+        pass a wall timestamp get no lag rather than a wrong one.
         """
         if (self.last_applied_index is not None
                 and snapshot.index <= self.last_applied_index):
@@ -185,11 +219,15 @@ class IngestLoop:
                 "lag_seconds": None,
             })
             return True
-        start = time.time()
+        # Durations from the monotonic clock only; time.time() is kept
+        # strictly for the displayed last_apply_at timestamp. (An NTP
+        # step between start and end used to make apply_seconds — and
+        # lag — negative.)
+        start_mono = time.monotonic()
         all_ok = True
         lags: List[float] = []
         for view in self.registry.views():
-            ok = self._apply_with_retry(view, snapshot, enqueued_at)
+            ok = self._apply_with_retry(view, snapshot, enqueued_mono)
             all_ok = all_ok and ok
             if ok and view.history:
                 lag = view.history[-1].lag_seconds
@@ -201,12 +239,30 @@ class IngestLoop:
         else:
             self.snapshots_quarantined += 1
         self.last_apply_at = time.time()
+        apply_seconds = time.monotonic() - start_mono
+        lag_seconds = max(lags) if lags else None
         self.recent.append({
             "snapshot_index": snapshot.index,
             "ok": all_ok,
-            "apply_seconds": self.last_apply_at - start,
-            "lag_seconds": max(lags) if lags else None,
+            "apply_seconds": apply_seconds,
+            "lag_seconds": lag_seconds,
         })
+        if _oreg.ENABLED:
+            kind = "applied" if all_ok else "quarantined"
+            _oreg.REGISTRY.inc(
+                "repro_ingest_snapshots_total",
+                help="snapshots through the ingest loop by outcome",
+                outcome=kind)
+            _oreg.REGISTRY.observe(
+                "repro_ingest_apply_seconds", apply_seconds,
+                help="wall seconds to apply one snapshot to all views")
+            if lag_seconds is not None:
+                _oreg.REGISTRY.observe(
+                    "repro_ingest_lag_seconds", lag_seconds,
+                    help="enqueue-to-applied lag (monotonic clock)")
+            _oreg.REGISTRY.set(
+                "repro_ingest_queue_depth", float(self.queue.depth),
+                help="snapshots waiting in the ingest queue")
         if all_ok and self.snapshot_store is not None:
             try:
                 self.snapshot_store.append(snapshot)
@@ -215,12 +271,15 @@ class IngestLoop:
         return all_ok
 
     def _apply_with_retry(self, view, snapshot: Snapshot,
-                          enqueued_at: Optional[float]) -> bool:
+                          enqueued_mono: Optional[float]) -> bool:
         for attempt in (1, 2):
             try:
                 record = view.apply_snapshot(snapshot, check=self.check)
-                if enqueued_at is not None:
-                    record.lag_seconds = record.applied_at - enqueued_at
+                if enqueued_mono is not None:
+                    # Monotonic difference: non-negative by
+                    # construction, immune to wall-clock steps.
+                    record.lag_seconds = max(
+                        0.0, record.applied_mono - enqueued_mono)
                 return True
             except Exception as exc:  # noqa: BLE001 - quarantine boundary
                 view.last_error = f"{type(exc).__name__}: {exc}"
@@ -241,10 +300,36 @@ class IngestLoop:
             "snapshots_applied": self.snapshots_applied,
             "snapshots_quarantined": self.snapshots_quarantined,
             "applies_failed": self.applies_failed,
+            "stop_failures": self.stop_failures,
             "last_applied_index": self.last_applied_index,
             "last_apply_at": self.last_apply_at,
             "recent": list(self.recent),
         }
+
+
+def drop_snapshot(spool_dir: str, snapshot: Snapshot) -> str:
+    """Atomically drop a snapshot into a spool directory.
+
+    The spool write protocol: serialize to ``snapshot_NNNN.dat.tmp``
+    in the *same* directory, then ``os.replace`` onto the final name.
+    The rename is atomic on POSIX, so a watcher can never observe a
+    half-written ``snapshot_NNNN.dat`` — it either sees the whole file
+    or no file. ``*.tmp``/``*.part`` names never match the snapshot
+    pattern, so in-flight files from producers that follow the
+    protocol are invisible to :meth:`SpoolWatcher.scan_once`.
+
+    Returns the final path. Producers that cannot use this helper must
+    follow the same write-then-rename discipline; the watcher also
+    validates each file's header page count on read, so even a torn
+    direct write is skipped (and retried next sweep) instead of being
+    ingested short.
+    """
+    os.makedirs(spool_dir, exist_ok=True)
+    final = os.path.join(spool_dir, f"snapshot_{snapshot.index:04d}.dat")
+    tmp = final + ".tmp"
+    write_snapshot(snapshot, tmp)
+    os.replace(tmp, final)
+    return final
 
 
 class SpoolWatcher:
@@ -257,6 +342,14 @@ class SpoolWatcher:
     re-ingests. Files newer than the last pushed index are the only
     candidates, so out-of-order drops wait until their predecessors
     arrive.
+
+    Producers should write through :func:`drop_snapshot` (tmp file +
+    ``os.replace``); ``*.tmp``/``*.part`` names are ignored by the
+    scan. As defense in depth against producers that write the final
+    name directly, every candidate file's header page count is
+    validated by :func:`~repro.corpus.snapshot.read_snapshot`, so a
+    torn file parses as an error (skipped, retried next sweep) rather
+    than as a silently truncated snapshot.
     """
 
     def __init__(self, spool_dir: str, ingest_queue: IngestQueue,
@@ -268,6 +361,10 @@ class SpoolWatcher:
         os.makedirs(self.spool_dir, exist_ok=True)
         os.makedirs(self.done_dir, exist_ok=True)
         self.files_ingested = 0
+        #: Candidate files that failed to parse (torn/truncated) and
+        #: were left for the next sweep.
+        self.files_deferred = 0
+        self.stop_failures = 0
         self.last_index: Optional[int] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -285,14 +382,35 @@ class SpoolWatcher:
                                         daemon=True)
         self._thread.start()
 
-    def stop(self, timeout: float = 10.0) -> None:
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Stop the watcher; ``True`` when the thread actually exited.
+
+        Mirrors :meth:`IngestLoop.stop`: a join that times out no
+        longer masquerades as a clean shutdown.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        if self._thread is None:
+            return True
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            self.stop_failures += 1
+            if _oreg.ENABLED:
+                _oreg.REGISTRY.inc(
+                    "repro_serve_stop_failures_total",
+                    help="stop() calls whose worker thread failed to "
+                         "exit within the timeout", component="spool")
+            return False
+        self._thread = None
+        return True
 
     def scan_once(self) -> int:
-        """One sweep: push every ready spool file, oldest index first."""
+        """One sweep: push every ready spool file, oldest index first.
+
+        In-flight ``*.tmp``/``*.part`` files don't match the snapshot
+        pattern and are never candidates; a candidate that fails to
+        parse (torn write by a protocol-violating producer) is
+        deferred to the next sweep, not consumed.
+        """
         entries = []
         for name in os.listdir(self.spool_dir):
             m = _SNAPSHOT_RE.match(name)
@@ -306,6 +424,7 @@ class SpoolWatcher:
             try:
                 snapshot = read_snapshot(path)
             except (OSError, ValueError, KeyError):
+                self.files_deferred += 1
                 continue  # partially written; retry next sweep
             while not self.queue.push(snapshot, block=True, timeout=0.5):
                 if self._stop.is_set():
@@ -326,5 +445,7 @@ class SpoolWatcher:
             "spool_dir": self.spool_dir,
             "running": self.running,
             "files_ingested": self.files_ingested,
+            "files_deferred": self.files_deferred,
+            "stop_failures": self.stop_failures,
             "last_index": self.last_index,
         }

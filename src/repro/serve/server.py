@@ -21,6 +21,10 @@ Endpoints (all JSON):
 * ``GET /metrics`` — uptime, query counters, ingest lag, and per-view
   per-generation apply timings with the full
   ``Timings``/``RuntimeMetrics``/``FastPathStats`` ``to_dict`` nests.
+  With ``?format=prometheus`` the same endpoint serves the process
+  metrics registry in the text exposition format
+  (``text/plain; version=0.0.4``) for scrape-based monitoring; JSON
+  stays the default so existing consumers are unaffected.
 """
 
 from __future__ import annotations
@@ -33,10 +37,15 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..corpus.snapshot import Snapshot
+from ..obs import registry as _oreg
+from ..obs.util import safe_rate
 from ..text.document import Page
 from .ingest import IngestLoop, IngestQueue, SpoolWatcher
 from .store import EmptyViewError, UnknownRelationError
 from .views import ViewRegistry
+
+#: Content type of the Prometheus text exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Hard cap on one ``/query`` page, whatever ``limit`` asks for.
 MAX_LIMIT = 1000
@@ -54,7 +63,11 @@ class ServeApp:
         self.queue = ingest_queue
         self.loop = loop
         self.watcher = watcher
+        #: Wall-clock start timestamp — display only.
         self.started_at = time.time()
+        #: Monotonic start timestamp — uptime is derived from this so
+        #: a wall-clock step can never make uptime negative.
+        self.started_mono = time.monotonic()
         self._query_lock = threading.Lock()
         self.queries_served = 0
         self.ingest_requests = 0
@@ -62,14 +75,29 @@ class ServeApp:
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> None:
+        # A serving process always publishes into the metrics registry:
+        # /metrics?format=prometheus is part of the serve API surface.
+        _oreg.enable()
         self.loop.start()
         if self.watcher is not None:
             self.watcher.start()
 
-    def shutdown(self) -> None:
+    def shutdown(self) -> bool:
+        """Stop watcher + loop; ``True`` only if both exited cleanly."""
+        ok = True
         if self.watcher is not None:
-            self.watcher.stop()
-        self.loop.stop()
+            ok = self.watcher.stop() and ok
+        ok = self.loop.stop() and ok
+        return ok
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_mono
+
+    @property
+    def queries_per_second(self) -> float:
+        """Lifetime query rate; 0.0 at zero uptime (no div-by-zero)."""
+        return safe_rate(self.queries_served, self.uptime_seconds)
 
     # -- request handlers (thread-safe) -----------------------------------
 
@@ -182,14 +210,51 @@ class ServeApp:
                 "applies": [record.to_dict() for record in view.history],
             }
         return 200, {
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": self.uptime_seconds,
+            "started_at": self.started_at,
             "queries_served": self.queries_served,
+            "queries_per_second": self.queries_per_second,
             "ingest_requests": self.ingest_requests,
             "ingest": self.loop.describe(),
             "spool": (self.watcher.describe()
                       if self.watcher is not None else None),
             "views": views,
         }
+
+    def sync_registry(self) -> None:
+        """Refresh point-in-time serve gauges in the metrics registry.
+
+        Called at exposition time so scrape-shaped values (uptime,
+        queue depth, per-view health) are current even between
+        applies.
+        """
+        reg = _oreg.REGISTRY
+        reg.set("repro_serve_uptime_seconds", self.uptime_seconds,
+                help="monotonic seconds since the app started")
+        reg.set("repro_serve_queries_per_second", self.queries_per_second,
+                help="lifetime query rate")
+        reg.set("repro_ingest_queue_depth", float(self.queue.depth),
+                help="snapshots waiting in the ingest queue")
+        counts = self.loop.describe()
+        reg.set("repro_ingest_loop_running",
+                1.0 if self.loop.running else 0.0,
+                help="1 when the single-writer apply loop is alive")
+        reg.set("repro_serve_queries_served", float(self.queries_served),
+                help="queries answered since start")
+        reg.set("repro_serve_ingest_requests", float(self.ingest_requests),
+                help="POST /ingest requests since start")
+        reg.set("repro_ingest_applies_failed",
+                float(counts["applies_failed"]),
+                help="per-view apply attempts that raised")
+        for view in self.registry.views():
+            reg.set("repro_view_healthy", 1.0 if view.healthy else 0.0,
+                    help="1 when the view has no quarantined snapshots",
+                    view=view.config.name)
+
+    def handle_metrics_prom(self) -> Tuple[int, str]:
+        """The Prometheus text exposition of the process registry."""
+        self.sync_registry()
+        return 200, _oreg.REGISTRY.render_prometheus()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -214,6 +279,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str,
+                   content_type: str = PROM_CONTENT_TYPE) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib contract
         parsed = urlparse(self.path)
         params = {key: values[-1] for key, values
@@ -228,6 +302,10 @@ class _Handler(BaseHTTPRequestHandler):
         elif route == "/healthz":
             status, payload = self.app.handle_healthz()
         elif route == "/metrics":
+            if params.get("format") == "prometheus":
+                status, text = self.app.handle_metrics_prom()
+                self._send_text(status, text)
+                return
             status, payload = self.app.handle_metrics()
         else:
             status, payload = 404, {"error": f"no route {parsed.path!r}"}

@@ -45,6 +45,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..check import invariants
 from ..core.runner import make_system
+from ..obs import registry as _oreg
 from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask, make_task
 from ..plan.compile import compile_program
@@ -108,7 +109,12 @@ class ApplyRecord:
     pages_unchanged: int
     tuples_total: int
     timings: Dict[str, object] = field(default_factory=dict)
+    #: Wall-clock timestamp — display only, never used for durations.
     applied_at: float = 0.0
+    #: Monotonic timestamp of the same instant — the ingest loop
+    #: derives ``lag_seconds`` from this, so a wall-clock step (NTP
+    #: slew, DST, manual reset) can never produce a negative lag.
+    applied_mono: float = 0.0
     lag_seconds: Optional[float] = None   # enqueue -> applied (ingest)
 
     def to_dict(self) -> Dict[str, object]:
@@ -265,9 +271,35 @@ class MaterializedView:
             tuples_total=generation.total_tuples(),
             timings=timings.to_dict(),
             applied_at=time.time(),
+            applied_mono=time.monotonic(),
         )
         self.history.append(record)
+        if _oreg.ENABLED:
+            self._publish_apply(record, timings)
         return record
+
+    def _publish_apply(self, record: ApplyRecord, timings: Timings) -> None:
+        """Fold one apply's telemetry into the process metrics registry."""
+        name = self.config.name
+        _oreg.REGISTRY.inc(
+            "repro_view_applies_total",
+            help="snapshots applied per view", view=name)
+        _oreg.REGISTRY.observe(
+            "repro_view_apply_seconds", record.seconds,
+            help="wall seconds per snapshot apply (diff + run + delta + "
+                 "swap)", view=name)
+        _oreg.REGISTRY.inc(
+            "repro_view_pages_replaced_total",
+            float(record.pages_changed + record.pages_new),
+            help="pages whose rows were recomputed by an apply",
+            view=name)
+        _oreg.REGISTRY.set(
+            "repro_view_tuples", float(record.tuples_total),
+            help="tuples in the view's current generation", view=name)
+        _oreg.REGISTRY.set(
+            "repro_view_generation", float(record.gen_id),
+            help="current generation id per view", view=name)
+        _oreg.publish_timings(f"view:{name}", timings)
 
     def _apply_delex(self, snapshot: Snapshot, replaced: set,
                      diff: SnapshotDiff, check: bool

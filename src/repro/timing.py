@@ -60,9 +60,33 @@ class Timings:
 
     @property
     def others(self) -> float:
-        """Total minus all attributed categories (never negative)."""
+        """Total minus all attributed categories, clamped at 0.
+
+        Under the thread/process backends the per-worker category
+        seconds are summed across workers while ``total`` is the
+        parent's wall clock, so the attributed sum can legitimately
+        exceed ``total`` — the derived remainder must never go
+        negative. The clamped-away excess is *not* silently dropped:
+        it is reported explicitly as :attr:`overlap_seconds`.
+        """
         attributed = sum(self.parts.values())
         return max(0.0, self.total - attributed)
+
+    @property
+    def overlap_seconds(self) -> float:
+        """Attributed seconds in excess of wall ``total`` (>= 0).
+
+        Zero for serial runs; under parallel backends this is the
+        amount of per-worker time that overlapped in wall-clock terms
+        — the quantity the :attr:`others` clamp keeps out of the
+        decomposition instead of mis-reporting it as a negative
+        remainder. Meaningless (and reported as 0) when no wall total
+        was measured.
+        """
+        if self.total <= 0.0:
+            return 0.0
+        attributed = sum(self.parts.values())
+        return max(0.0, attributed - self.total)
 
     def merged(self, other: "Timings") -> "Timings":
         merged = Timings(parts=dict(self.parts),
@@ -95,6 +119,7 @@ class Timings:
         returned mapping is plain JSON types.
         """
         out: Dict[str, object] = dict(self.as_row())
+        out["overlap_seconds"] = self.overlap_seconds
         if self.runtime is not None:
             out["runtime"] = self.runtime.to_dict()
         if self.fastpath is not None:
