@@ -38,6 +38,15 @@ GRID_NAMES = ("small", "full")
 #: Policies that fix the matcher choice (deterministic captures).
 FIXED_POLICIES = ("UD", "ST", "WS", "mixed")
 
+#: The view-maintenance axis: "-" sweeps the config as a bare engine
+#: (the historical grid); any other value drives the snapshot series
+#: through a :class:`~repro.serve.views.MaterializedView` with that
+#: maintenance mode and diffs the *published generations* against the
+#: reference — covering the serving path (store delta, incremental
+#: relation index, delta rules + classifier for ``delta``) that the
+#: engine-level sweep never touches.
+VIEW_MODES = ("-", "delex", "noreuse", "delta")
+
 
 @dataclass(frozen=True)
 class CheckConfig:
@@ -48,10 +57,17 @@ class CheckConfig:
     fastpath: str = "on"   # on | off
     backend: str = "serial"  # serial | thread | process
     jobs: int = 1
+    view: str = "-"        # - | delex | noreuse | delta
+
+    def __post_init__(self) -> None:
+        if self.view not in VIEW_MODES:
+            raise ValueError(f"unknown view mode {self.view!r}; choose "
+                             f"from {VIEW_MODES}")
 
     @property
     def config_id(self) -> str:
-        return (f"{self.system}/{self.policy}/fp-{self.fastpath}/"
+        head = (f"view-{self.view}" if self.view != "-" else self.system)
+        return (f"{head}/{self.policy}/fp-{self.fastpath}/"
                 f"{self.backend}x{self.jobs}")
 
     @property
@@ -62,8 +78,11 @@ class CheckConfig:
     def capture_comparable(self) -> bool:
         """May this config's reuse files be byte-compared against its
         group's baseline? Requires a machine-independent matcher
-        assignment."""
-        return self.system in ("cyclex", "delex") and self.policy != "auto"
+        assignment. View-driven configs are excluded: their workdir
+        layout is the serving tier's, not a capture tree."""
+        return (self.view == "-"
+                and self.system in ("cyclex", "delex")
+                and self.policy != "auto")
 
     def capture_group(self) -> Tuple[str, str]:
         """Configs in one group must write byte-identical captures."""
@@ -93,7 +112,7 @@ class CheckConfig:
     def as_dict(self) -> Dict[str, object]:
         return {"system": self.system, "policy": self.policy,
                 "fastpath": self.fastpath, "backend": self.backend,
-                "jobs": self.jobs}
+                "jobs": self.jobs, "view": self.view}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CheckConfig":
@@ -101,7 +120,8 @@ class CheckConfig:
                    policy=str(data.get("policy", "-")),
                    fastpath=str(data.get("fastpath", "on")),
                    backend=str(data.get("backend", "serial")),
-                   jobs=int(data.get("jobs", 1)))
+                   jobs=int(data.get("jobs", 1)),
+                   view=str(data.get("view", "-")))
 
 
 def make_assignment(task: IETask, policy: str) -> PlanAssignment:
@@ -152,13 +172,16 @@ def build_grid(name: str = "full", jobs: int = 2) -> List[CheckConfig]:
         backends: Tuple[str, ...] = ("serial", "thread")
         cyclex_policies: Tuple[str, ...] = ("UD",)
         delex_policies: Tuple[str, ...] = ("UD", "mixed")
+        view_modes: Tuple[str, ...] = ("delta",)
     else:
         backends = ("serial", "thread", "process")
         cyclex_policies = ("UD", "ST")
         delex_policies = ("UD", "ST", "mixed", "auto")
+        view_modes = ("delta", "noreuse", "delex")
     grid: List[CheckConfig] = []
     grid += _expand("noreuse", ("-",), ("on",), backends, jobs)
     grid += _expand("shortcut", ("-",), ("on",), backends, jobs)
     grid += _expand("cyclex", cyclex_policies, fastpaths, backends, jobs)
     grid += _expand("delex", delex_policies, fastpaths, backends, jobs)
+    grid += [CheckConfig(system=mode, view=mode) for mode in view_modes]
     return grid

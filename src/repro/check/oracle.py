@@ -278,10 +278,66 @@ def compare_captures(baseline: ConfigOutcome, baseline_dir: str,
     return None
 
 
+def _run_view_config(cfg: CheckConfig, task: IETask,
+                     snapshots: Sequence[Snapshot], config_dir: str,
+                     reference: Reference) -> ConfigOutcome:
+    """Drive one *view-maintenance* config over the series.
+
+    Instead of a bare engine, the series flows through a
+    :class:`~repro.serve.views.MaterializedView` with the config's
+    maintenance mode, and what gets diffed against the reference is
+    each *published generation* — so the sweep covers the serving
+    path end to end: snapshot diffing, the store delta, and (for
+    ``view="delta"``) the delta rules, the classifier, and the
+    incrementally merged relation index.
+    """
+    # Imported lazily: the serving layer pulls in repro.delta and the
+    # engine stack, which the bare-engine sweep does not need.
+    from ..serve.views import MaterializedView, ViewConfig
+
+    outcome = ConfigOutcome(config=cfg)
+    start = time.perf_counter()
+    try:
+        view = MaterializedView(
+            ViewConfig(name=cfg.slug, task=task.name, system=cfg.view,
+                       fastpath=cfg.fastpath, jobs=cfg.jobs,
+                       backend=cfg.backend
+                       if cfg.backend != "serial" else "serial"),
+            config_dir, task=task)
+        for i, snapshot in enumerate(snapshots):
+            view.apply_snapshot(snapshot, check=True)
+            outcome.snapshots_run = i + 1
+            generation = view.generation
+            got = (generation.canonical()
+                   if generation is not None else {})
+            disc = diff_results(reference, got, i, cfg.config_id)
+            if disc is not None:
+                outcome.discrepancies.append(disc)
+                break
+    except invariants.InvariantViolation as violation:
+        outcome.discrepancies.append(Discrepancy(
+            kind="invariant", config_id=cfg.config_id,
+            snapshot_index=outcome.snapshots_run,
+            location=violation.invariant, detail=violation.detail,
+            pages=tuple(str(v) for k, v in
+                        sorted(violation.context.items())
+                        if k == "did")))
+    except Exception as exc:
+        outcome.discrepancies.append(Discrepancy(
+            kind="error", config_id=cfg.config_id,
+            snapshot_index=outcome.snapshots_run,
+            location=type(exc).__name__, detail=str(exc)))
+    outcome.seconds = time.perf_counter() - start
+    return outcome
+
+
 def _run_config(cfg: CheckConfig, task: IETask,
                 snapshots: Sequence[Snapshot], config_dir: str,
                 reference: Reference) -> ConfigOutcome:
     """Drive one config over the series, diffing every snapshot."""
+    if cfg.view != "-":
+        return _run_view_config(cfg, task, snapshots, config_dir,
+                                reference)
     outcome = ConfigOutcome(config=cfg)
     start = time.perf_counter()
     kwargs = dict(cfg.system_kwargs(task))

@@ -290,8 +290,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         template = make_task(task_names[0], work_scale=0)
         factory = (dblife_corpus if template.corpus == "dblife"
                    else wikipedia_corpus)
+        kwargs = ({} if args.demo_unchanged is None
+                  else {"p_unchanged": args.demo_unchanged})
         snapshots = list(factory(n_pages=args.demo_pages,
-                                 seed=args.seed)
+                                 seed=args.seed, **kwargs)
                          .snapshots(args.demo_snapshots))
     for snapshot in snapshots:
         while not ingest_queue.push(snapshot, block=True, timeout=1.0):
@@ -546,13 +548,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "evolving demo corpus")
     serve.add_argument("--demo-pages", type=int, default=12)
     serve.add_argument("--demo-snapshots", type=int, default=3)
+    serve.add_argument("--demo-unchanged", type=float, default=None,
+                       metavar="P",
+                       help="demo corpus per-page probability of "
+                            "staying identical between snapshots "
+                            "(default: the corpus's paper band; lower "
+                            "it for a churn-heavy series)")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--spool", default=None, metavar="DIR",
                        help="watch DIR for snapshot_NNNN.dat files and "
                             "ingest them continuously")
-    serve.add_argument("--system", default="delex",
-                       choices=("delex", "noreuse"),
-                       help="view maintenance mode (default delex)")
+    serve.add_argument("--mode", "--system", dest="system",
+                       default="delex",
+                       choices=("delex", "noreuse", "delta"),
+                       help="view maintenance mode (default delex); "
+                            "'delta' applies each snapshot as a "
+                            "tuple-level (adds, dels) delta through "
+                            "the relational plan")
     serve.add_argument("--fastpath", default="on",
                        choices=("on", "off"))
     serve.add_argument("--jobs", type=int, default=1)

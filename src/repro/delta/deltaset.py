@@ -1,0 +1,173 @@
+"""Counted multisets: the algebra differential maintenance runs on.
+
+Every value flowing through the delta rules is a *canonical frozen
+row* (:mod:`repro.delta.rows`) with a signed integer multiplicity.
+Two structures share that key space:
+
+* :class:`DeltaSet` — a *change*: row -> signed count. Negative counts
+  are retractions. Deltas form a group under addition, which is what
+  lets retract-then-add cycles (page churn, deletion, resurrection)
+  cancel exactly instead of approximately.
+* :class:`Multiset` — a *state*: row -> positive count, mutated by
+  applying deltas. Applying reports the **support transitions** — rows
+  whose count crossed zero in either direction — because that is the
+  delta the set-semantics operators (π-dedupe, ∪-dedupe, the published
+  relation index) must emit: a tuple derived two ways that loses one
+  derivation changes count 2 -> 1 and must emit *nothing*.
+
+A delta driving any count negative is a bug in the rules (a retraction
+of something never added); :class:`NegativeMultiplicityError` makes
+that loud instead of silently corrupting downstream state — the
+``repro check`` sweep and the property tests lean on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+
+class NegativeMultiplicityError(RuntimeError):
+    """A delta retracted more copies of a row than the state holds."""
+
+
+class DeltaSet:
+    """A signed counted multiset of frozen rows (the ``(adds, dels)``)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Dict[tuple, int] = None) -> None:
+        self._counts: Dict[tuple, int] = {}
+        if counts:
+            for row, count in counts.items():
+                self.add(row, count)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[tuple], count: int = 1) -> "DeltaSet":
+        """A delta adding (or, with ``count=-1``, retracting) rows.
+
+        Duplicate rows accumulate multiplicity — ``from_rows`` of a
+        list with a row twice yields that row at count ``2 * count``.
+        """
+        delta = cls()
+        for row in rows:
+            delta.add(row, count)
+        return delta
+
+    def add(self, row: tuple, count: int = 1) -> None:
+        """Accumulate ``count`` onto ``row``; zero entries vanish."""
+        if count == 0:
+            return
+        new = self._counts.get(row, 0) + count
+        if new == 0:
+            del self._counts[row]
+        else:
+            self._counts[row] = new
+
+    def update(self, other: "DeltaSet") -> None:
+        """Pointwise sum with another delta (group addition)."""
+        for row, count in other._counts.items():
+            self.add(row, count)
+
+    def negated(self) -> "DeltaSet":
+        """The inverse delta (every count sign-flipped)."""
+        out = DeltaSet()
+        out._counts = {row: -count for row, count in self._counts.items()}
+        return out
+
+    def items(self) -> Iterator[Tuple[tuple, int]]:
+        return iter(self._counts.items())
+
+    def adds(self) -> List[Tuple[tuple, int]]:
+        """The positive entries, ``(row, count)`` with count > 0."""
+        return [(r, c) for r, c in self._counts.items() if c > 0]
+
+    def dels(self) -> List[Tuple[tuple, int]]:
+        """The negative entries, ``(row, count)`` with count < 0."""
+        return [(r, c) for r, c in self._counts.items() if c < 0]
+
+    def is_empty(self) -> bool:
+        return not self._counts
+
+    def __len__(self) -> int:
+        """Distinct rows touched (not total multiplicity)."""
+        return len(self._counts)
+
+    def __contains__(self, row: tuple) -> bool:
+        return row in self._counts
+
+    def count(self, row: tuple) -> int:
+        return self._counts.get(row, 0)
+
+    def weight(self) -> int:
+        """Total absolute multiplicity — the delta's "size" for
+        telemetry and benchmark accounting."""
+        return sum(abs(c) for c in self._counts.values())
+
+    def __repr__(self) -> str:
+        return f"DeltaSet({len(self._counts)} rows, weight {self.weight()})"
+
+
+class Multiset:
+    """Maintained nonnegative counts with support-transition reporting."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[tuple, int] = {}
+
+    def apply(self, delta: DeltaSet, where: str = "multiset"
+              ) -> Tuple[List[tuple], List[tuple]]:
+        """Fold a delta in; return ``(appeared, vanished)`` support.
+
+        ``appeared`` lists rows whose count went 0 -> positive,
+        ``vanished`` rows whose count went positive -> 0 — exactly the
+        *set-semantics* delta of this state. ``where`` names the
+        operator for the error message when a retraction underflows.
+        """
+        appeared: List[tuple] = []
+        vanished: List[tuple] = []
+        for row, count in delta.items():
+            old = self._counts.get(row, 0)
+            new = old + count
+            if new < 0:
+                raise NegativeMultiplicityError(
+                    f"{where}: count of {row!r} would become {new} "
+                    f"(was {old}, delta {count})")
+            if new == 0:
+                if old:
+                    del self._counts[row]
+                    vanished.append(row)
+            else:
+                self._counts[row] = new
+                if old == 0:
+                    appeared.append(row)
+        return appeared, vanished
+
+    def count(self, row: tuple) -> int:
+        return self._counts.get(row, 0)
+
+    def __contains__(self, row: tuple) -> bool:
+        return row in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def support(self) -> List[tuple]:
+        """The distinct rows present (count > 0), unordered."""
+        return list(self._counts)
+
+    def items(self) -> Iterator[Tuple[tuple, int]]:
+        return iter(self._counts.items())
+
+    def is_empty(self) -> bool:
+        return not self._counts
+
+    def as_delta(self, sign: int = 1) -> DeltaSet:
+        """The state as a delta (``sign=-1``: retract everything)."""
+        out = DeltaSet()
+        out._counts = {row: sign * count
+                       for row, count in self._counts.items()}
+        return out
+
+    def __repr__(self) -> str:
+        return f"Multiset({len(self._counts)} rows)"

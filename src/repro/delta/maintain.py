@@ -1,0 +1,209 @@
+"""DeltaMaintainer: one snapshot diff in, one store delta out.
+
+Owns everything the delta rules accumulate across generations — one
+:class:`~repro.delta.rules.PageState` per live page plus, per head
+relation, the *cross-page* layer the per-page rules cannot see:
+
+* a :class:`~repro.delta.deltaset.Multiset` counting, per canonical
+  tuple, how many pages currently produce it. Pages contribute their
+  root supports (deduplicated per page), so the count is a page count
+  and a tuple survives one producer's retraction while another page
+  still yields it — the relation-level face of multiplicity-zero
+  cancellation;
+* the published sorted index, maintained by merging each apply's
+  appeared/vanished support transitions into the previous sorted
+  tuple — O(index + delta) per apply instead of the store's
+  O(corpus-wide dedupe + sort) rebuild. Ordering matches
+  :func:`repro.serve.store._sort_key` exactly, so a delta-maintained
+  generation is byte-identical to a batch-built one.
+
+``apply`` executes the :class:`~repro.delta.classify.UpdateClassifier`
+decisions: deletions drain through the rules (pure retractions, zero
+extractor calls), new/resurrected pages flow as pure additions,
+changed-safe pages propagate their edit in place, and changed-unsafe
+pages take the fallback — old state discarded, page re-derived fresh
+through the same rules, the two root supports differenced. The
+fallback is page-*granular* but still tuple-*granular* at the store:
+only the rows that actually changed reach the relation index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..plan.compile import CompiledPlan
+from .classify import PageDecision, UpdateClassifier
+from .deltaset import DeltaSet, Multiset
+from .rows import FrozenRow
+from .rules import DeltaCounters, PagePlanDelta, PageState
+
+
+def _sort_key(tup: tuple) -> str:
+    """Must order exactly like :func:`repro.serve.store._sort_key`
+    (kept local — serve imports delta, not the other way around)."""
+    return repr(tup)
+
+
+class DeltaStateError(RuntimeError):
+    """Maintained delta state violated an invariant (e.g. a deleted
+    page's state did not drain to empty)."""
+
+
+@dataclass
+class DeltaApplyResult:
+    """Everything one differential apply produced.
+
+    ``upserts``/``deletes`` feed :meth:`TupleStore.apply_delta`
+    unchanged; ``relations`` is the pre-sorted index the store can
+    adopt verbatim instead of rebuilding.
+    """
+
+    upserts: Dict[str, Dict[str, List[FrozenRow]]]
+    deletes: Tuple[str, ...]
+    relations: Dict[str, Tuple[FrozenRow, ...]]
+    decisions: Dict[str, PageDecision]
+    counters: DeltaCounters
+    #: Total absolute tuple multiplicity that crossed the relation
+    #: layer — the true "size" of this generation's change.
+    delta_weight: int = 0
+
+    def decision_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for decision in self.decisions.values():
+            out[decision.decision] = out.get(decision.decision, 0) + 1
+        return out
+
+    @property
+    def fallback_ratio(self) -> float:
+        """Share of *changed* pages that fell back to re-extraction."""
+        counts = self.decision_counts()
+        changed = counts.get("delta", 0) + counts.get("fallback", 0)
+        if changed == 0:
+            return 0.0
+        return counts.get("fallback", 0) / changed
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "decisions": self.decision_counts(),
+            "fallback_ratio": self.fallback_ratio,
+            "delta_weight": self.delta_weight,
+            **self.counters.to_dict(),
+        }
+
+
+def merge_sorted_index(old: Tuple[tuple, ...], appeared: Sequence[tuple],
+                       vanished: Sequence[tuple]) -> Tuple[tuple, ...]:
+    """Fold support transitions into a sorted index in one pass."""
+    if not appeared and not vanished:
+        return old
+    adds = sorted(appeared, key=_sort_key)
+    gone = set(vanished)
+    out: List[tuple] = []
+    i = 0
+    for tup in old:
+        if tup in gone:
+            continue
+        key = _sort_key(tup)
+        while i < len(adds) and _sort_key(adds[i]) < key:
+            out.append(adds[i])
+            i += 1
+        out.append(tup)
+    out.extend(adds[i:])
+    return tuple(out)
+
+
+class DeltaMaintainer:
+    """Differential maintenance of one compiled plan over a corpus."""
+
+    def __init__(self, plan: CompiledPlan,
+                 classifier: Optional[UpdateClassifier] = None) -> None:
+        self.plan_delta = PagePlanDelta(plan)
+        self.classifier = classifier or UpdateClassifier(plan)
+        self.states: Dict[str, PageState] = {}
+        self.relations: Dict[str, Multiset] = {
+            rel: Multiset() for rel in self.plan_delta.root_index}
+        self.index: Dict[str, Tuple[tuple, ...]] = {
+            rel: () for rel in self.plan_delta.root_index}
+
+    def apply(self, snapshot, diff, check: bool = False
+              ) -> DeltaApplyResult:
+        """Run one snapshot diff through the delta rules.
+
+        ``snapshot`` is a :class:`~repro.corpus.snapshot.Snapshot`,
+        ``diff`` a :class:`~repro.serve.views.SnapshotDiff` (duck-typed
+        to avoid importing the serving layer). With ``check`` on,
+        deleted pages' states are verified to drain to empty — the
+        cheap structural half of the ``--check on`` guard; the
+        expensive half (the batch oracle) lives in the view.
+        """
+        counters = DeltaCounters()
+        decisions: Dict[str, PageDecision] = {}
+        rel_delta: Dict[str, DeltaSet] = {
+            rel: DeltaSet() for rel in self.relations}
+        upserts: Dict[str, Dict[str, List[FrozenRow]]] = {}
+        new_texts = {p.did: p.text for p in snapshot.canonical_pages()}
+        resurrected = set(getattr(diff, "resurrected", ()))
+
+        def collect(page_delta: Dict[str, DeltaSet]) -> None:
+            for rel, delta in page_delta.items():
+                rel_delta[rel].update(delta)
+
+        for did in diff.deleted:
+            state = self.states.pop(did)
+            collect(self.plan_delta.apply_page_text(state, None, counters))
+            if check and not state.is_drained():
+                raise DeltaStateError(
+                    f"deleted page {did!r}: delta state did not drain "
+                    "to empty")
+            decisions[did] = PageDecision(
+                did=did, decision="deleted",
+                reason="pure retraction from recorded state")
+        for did in diff.new:
+            state = self.plan_delta.new_page_state(did)
+            collect(self.plan_delta.apply_page_text(
+                state, new_texts[did], counters))
+            self.states[did] = state
+            upserts[did] = self.plan_delta.page_rows(state)
+            kind = "resurrected" if did in resurrected else "new"
+            decisions[did] = PageDecision(
+                did=did, decision=kind,
+                reason=("returned after deletion; prior state was "
+                        "retracted, re-adding fresh" if kind ==
+                        "resurrected" else "pure addition"))
+        for did in diff.changed:
+            state = self.states[did]
+            old_text = state.current_text() or ""
+            decision = self.classifier.classify_changed(
+                did, old_text, new_texts[did])
+            decisions[did] = decision
+            if decision.decision == "delta":
+                collect(self.plan_delta.apply_page_text(
+                    state, new_texts[did], counters))
+            else:
+                old_rows = self.plan_delta.page_rows(state)
+                fresh = self.plan_delta.new_page_state(did)
+                page_delta = self.plan_delta.apply_page_text(
+                    fresh, new_texts[did], counters)
+                for rel, rows in old_rows.items():
+                    page_delta[rel].update(DeltaSet.from_rows(rows, -1))
+                collect(page_delta)
+                self.states[did] = fresh
+            upserts[did] = self.plan_delta.page_rows(self.states[did])
+        for did in diff.unchanged:
+            decisions[did] = PageDecision(
+                did=did, decision="unchanged", reason="fingerprint match")
+
+        delta_weight = 0
+        relations: Dict[str, Tuple[tuple, ...]] = {}
+        for rel, delta in rel_delta.items():
+            delta_weight += delta.weight()
+            appeared, vanished = self.relations[rel].apply(
+                delta, where=f"relation:{rel}")
+            self.index[rel] = merge_sorted_index(
+                self.index[rel], appeared, vanished)
+            relations[rel] = self.index[rel]
+        return DeltaApplyResult(
+            upserts=upserts, deletes=tuple(diff.deleted),
+            relations=relations, decisions=decisions,
+            counters=counters, delta_weight=delta_weight)

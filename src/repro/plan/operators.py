@@ -207,31 +207,57 @@ class JoinNode(Node):
         return f"join:{','.join(self.on)}"
 
 
+def canonical_row_key(row: TupleRow) -> str:
+    """Total, input-order-independent sort key for one tuple.
+
+    The key is the ``repr`` of the row's (var, value) pairs sorted by
+    variable name. Variable names are unique within a row, so values
+    (spans, scalars, mixed types) are never compared against each
+    other, and ``repr`` of spans/scalars is process-independent — two
+    distinct rows can never collide, which is the documented tie-break:
+    there are no ties.
+    """
+    return repr(tuple(sorted(row.items())))
+
+
 def hash_join(left_rows: List[TupleRow], right_rows: List[TupleRow],
               on: Sequence[str]) -> List[TupleRow]:
-    """Hash join on equality of the ``on`` variables."""
+    """Hash join on equality of the ``on`` variables.
+
+    Output order is canonical (sorted by :func:`canonical_row_key`),
+    so reordering either input reorders nothing downstream — the
+    property the delta-vs-batch byte-stability comparisons rely on.
+    Duplicate joined rows (legitimate multiplicities) are preserved.
+    """
     if not on:
-        return [{**l, **r} for l in left_rows for r in right_rows]
+        out = [{**l, **r} for l in left_rows for r in right_rows]
+        out.sort(key=canonical_row_key)
+        return out
     buckets: Dict[Tuple, List[TupleRow]] = {}
     for row in left_rows:
         buckets.setdefault(tuple(row[v] for v in on), []).append(row)
-    out: List[TupleRow] = []
+    out = []
     for row in right_rows:
         for match in buckets.get(tuple(row[v] for v in on), ()):
             out.append({**match, **row})
+    out.sort(key=canonical_row_key)
     return out
 
 
 def dedupe_rows(rows: List[TupleRow]) -> List[TupleRow]:
-    """Remove duplicate tuples, preserving first-seen order."""
-    seen = set()
-    out: List[TupleRow] = []
+    """Remove duplicate tuples; output in canonical sorted order.
+
+    Sorting by :func:`canonical_row_key` (instead of the historical
+    first-seen order) makes the result independent of input order —
+    required for delta-applied and batch-recomputed plans to agree
+    byte-for-byte, not just as sets.
+    """
+    by_key: Dict[Tuple, TupleRow] = {}
     for row in rows:
         key = tuple(sorted(row.items()))
-        if key not in seen:
-            seen.add(key)
-            out.append(row)
-    return out
+        if key not in by_key:
+            by_key[key] = row
+    return [by_key[key] for key in sorted(by_key, key=repr)]
 
 
 # -- plain evaluation --------------------------------------------------------

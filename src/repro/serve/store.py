@@ -232,7 +232,9 @@ class TupleStore:
 
     def apply_delta(self, snapshot_index: int,
                     upserts: Mapping[str, Mapping[str, Sequence[tuple]]],
-                    deletes: Iterable[str] = ()) -> Generation:
+                    deletes: Iterable[str] = (),
+                    relations: Optional[Mapping[str, Sequence[tuple]]]
+                    = None) -> Generation:
         """Build and atomically publish the next generation.
 
         ``upserts`` maps changed/new page dids to their new per-
@@ -243,6 +245,14 @@ class TupleStore:
         before it the store still serves the previous generation
         untouched, which is what makes the ingest loop's quarantine
         path safe.
+
+        ``relations``, when given, is a prebuilt sorted relation index
+        adopted verbatim — the differential maintenance mode
+        (:mod:`repro.delta`) merges each generation's support
+        transitions into the previous index incrementally, replacing
+        this method's O(total relation size) dedupe-and-sort rebuild
+        with work proportional to the delta. The caller owns the
+        equivalence (the ``--check on`` guard cross-checks it).
         """
         previous = self.current()
         page_rows: Dict[str, Mapping[str, Tuple[tuple, ...]]] = (
@@ -256,22 +266,26 @@ class TupleStore:
             page_rows[did] = {rel: tuple(rows)
                               for rel, rows in rels.items()}
             replaced += 1
-        relations: Dict[str, Tuple[tuple, ...]] = {}
-        for rel in self.schema:
-            seen = set()
-            merged: List[tuple] = []
-            for did in page_rows:
-                for tup in page_rows[did].get(rel, ()):
-                    if tup not in seen:
-                        seen.add(tup)
-                        merged.append(tup)
-            merged.sort(key=_sort_key)
-            relations[rel] = tuple(merged)
+        if relations is not None:
+            index: Dict[str, Tuple[tuple, ...]] = {
+                rel: tuple(relations.get(rel, ())) for rel in self.schema}
+        else:
+            index = {}
+            for rel in self.schema:
+                seen = set()
+                merged: List[tuple] = []
+                for did in page_rows:
+                    for tup in page_rows[did].get(rel, ()):
+                        if tup not in seen:
+                            seen.add(tup)
+                            merged.append(tup)
+                merged.sort(key=_sort_key)
+                index[rel] = tuple(merged)
         generation = Generation(
             gen_id=self._gen_counter + 1,
             snapshot_index=snapshot_index,
             page_rows=page_rows,
-            relations=relations,
+            relations=index,
             created_at=time.time(),
             pages_total=len(page_rows),
             pages_replaced=replaced,

@@ -9,7 +9,7 @@ an arriving snapshot into a store delta. All views of a
 snapshot stream maintains many programs at once (the shared-corpus,
 many-views deployment of the ROADMAP north star).
 
-Two maintenance modes, selected per view:
+Three maintenance modes, selected per view:
 
 * ``system="delex"`` (default) — the snapshot runs through a
   :class:`~repro.core.delex.DelexSystem` with per-page row collection
@@ -24,14 +24,27 @@ Two maintenance modes, selected per view:
   pages' rows are carried over. Cheaper per snapshot when churn is
   low and there is no engine state to manage, at the cost of paying
   full extraction for every changed page.
+* ``system="delta"`` — true differential maintenance
+  (:mod:`repro.delta`): the snapshot applies as an ``(adds, dels)``
+  delta flowing through the compiled relational plan. Sub-page
+  regions an edit did not touch reuse memoized extractor output, the
+  relation index is merged incrementally instead of rebuilt, and a
+  per-page classifier falls back to re-extraction when delta
+  propagation is unsafe (non-row-determined selections) or
+  uneconomical (page mostly rewritten). The view's tombstone map
+  feeds :attr:`SnapshotDiff.resurrected` so a page that leaves and
+  returns is an explicit retract-then-add, never a silent no-op.
 
-Both modes produce byte-identical stores (Theorem 1 — pinned by the
+All modes produce byte-identical stores (Theorem 1 — pinned by the
 serve test suite), which is what lets ``--check on`` cross-guard them:
 under the guard the delex mode verifies, before publishing, that every
 unchanged page's stored rows equal what the engine just produced for
 that page and that the delta covers exactly the snapshot's page set;
-any drift raises :class:`ViewConsistencyError` and the store keeps
-serving the previous generation.
+the delta mode goes further and cross-checks the *entire*
+delta-maintained generation — relation indexes byte-for-byte, changed
+pages' rows as sets — against a from-scratch batch extraction of the
+snapshot. Any drift raises :class:`ViewConsistencyError` and the
+store keeps serving the previous generation.
 """
 
 from __future__ import annotations
@@ -45,6 +58,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..check import invariants
 from ..core.runner import make_system
+from ..delta.maintain import DeltaApplyResult, DeltaMaintainer
 from ..obs import registry as _oreg
 from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask, make_task
@@ -52,9 +66,9 @@ from ..plan.compile import compile_program
 from ..reuse.attribution import PageRows, extract_page_rows
 from ..text.document import Page
 from ..timing import Timer, Timings
-from .store import Generation, QueryResult, TupleStore
+from .store import Generation, QueryResult, TupleStore, _sort_key
 
-MAINTENANCE_SYSTEMS = ("delex", "noreuse")
+MAINTENANCE_SYSTEMS = ("delex", "noreuse", "delta")
 
 #: How many apply records a view keeps for ``/metrics``.
 APPLY_HISTORY = 64
@@ -109,6 +123,9 @@ class ApplyRecord:
     pages_unchanged: int
     tuples_total: int
     timings: Dict[str, object] = field(default_factory=dict)
+    #: Differential-mode telemetry (decision counts, fallback ratio,
+    #: extractor calls vs memo hits); None for the other modes.
+    delta: Optional[Dict[str, object]] = None
     #: Wall-clock timestamp — display only, never used for durations.
     applied_at: float = 0.0
     #: Monotonic timestamp of the same instant — the ingest loop
@@ -132,37 +149,57 @@ class ApplyRecord:
             "timings": self.timings,
             "applied_at": self.applied_at,
             "lag_seconds": self.lag_seconds,
+            **({"delta": self.delta} if self.delta is not None else {}),
         }
 
 
 @dataclass(frozen=True)
 class SnapshotDiff:
-    """Fingerprint diff of an arriving snapshot vs the applied state."""
+    """Fingerprint diff of an arriving snapshot vs the applied state.
+
+    ``resurrected`` is the subset of ``new`` whose did was previously
+    deleted from this view (tracked via the view's tombstone map). A
+    returning page has no retained state or stored rows — treating it
+    as anything but a fresh retract-then-add (in particular, treating
+    a same-fingerprint return as "unchanged") would resurrect stale
+    tuples or drop the page silently, so the category is explicit and
+    the delta layer's classifier records it per page.
+    """
 
     changed: Tuple[str, ...]
     new: Tuple[str, ...]
     deleted: Tuple[str, ...]
     unchanged: Tuple[str, ...]
+    resurrected: Tuple[str, ...] = ()
 
 
 class MaterializedView:
     """One registered task, maintained incrementally and served."""
 
-    def __init__(self, config: ViewConfig, workdir: str) -> None:
+    def __init__(self, config: ViewConfig, workdir: str,
+                 task: Optional[IETask] = None) -> None:
         self.config = config
         self.workdir = workdir
         os.makedirs(workdir, exist_ok=True)
-        self.task: IETask = make_task(config.task,
-                                      work_scale=config.work_scale)
+        #: ``task`` injection bypasses the library lookup — the check
+        #: oracle sweeps views over tasks it may have built itself.
+        self.task: IETask = task if task is not None else make_task(
+            config.task, work_scale=config.work_scale)
         self.plan = compile_program(self.task.program, self.task.registry)
         self.store = TupleStore(
             config.name, self.plan.program.head_relations())
         self._system = None
+        self._delta: Optional[DeltaMaintainer] = None
         if config.system == "delex":
             self._system = make_system(
                 "delex", self.task, os.path.join(workdir, "delex"),
                 jobs=config.jobs, backend=config.backend,
                 fastpath=config.fastpath, collect_page_rows=True)
+        elif config.system == "delta":
+            self._delta = DeltaMaintainer(self.plan)
+        #: did -> content fingerprint at deletion time; membership is
+        #: what turns a returning did into ``SnapshotDiff.resurrected``.
+        self._tombstones: Dict[str, str] = {}
         self._prev_snapshot: Optional[Snapshot] = None
         self.history: Deque[ApplyRecord] = deque(maxlen=APPLY_HISTORY)
         self.quarantine: List[Dict[str, object]] = []
@@ -221,9 +258,11 @@ class MaterializedView:
             else:
                 changed.append(page.did)
         deleted = sorted(prev_pages)
+        resurrected = tuple(did for did in new if did in self._tombstones)
         return SnapshotDiff(changed=tuple(changed), new=tuple(new),
                             deleted=tuple(deleted),
-                            unchanged=tuple(unchanged))
+                            unchanged=tuple(unchanged),
+                            resurrected=resurrected)
 
     def apply_snapshot(self, snapshot: Snapshot,
                        check: bool = False) -> ApplyRecord:
@@ -246,16 +285,30 @@ class MaterializedView:
         start = time.perf_counter()
         diff = self.diff_snapshot(snapshot)
         replaced = set(diff.changed) | set(diff.new)
+        delta_result: Optional[DeltaApplyResult] = None
         with invariants.checking(check or invariants.ENABLED):
-            if self._system is not None:
+            if self._delta is not None:
+                timings, delta_result = self._apply_delta_mode(
+                    snapshot, diff, check)
+                upserts = delta_result.upserts
+            elif self._system is not None:
                 timings, upserts = self._apply_delex(snapshot, replaced,
                                                      diff, check)
             else:
                 timings, upserts = self._apply_noreuse(snapshot, replaced)
         if self._apply_hook is not None:
             self._apply_hook(snapshot)
-        generation = self.store.apply_delta(snapshot.index, upserts,
-                                            deletes=diff.deleted)
+        generation = self.store.apply_delta(
+            snapshot.index, upserts, deletes=diff.deleted,
+            relations=(delta_result.relations
+                       if delta_result is not None else None))
+        prev_pages = ({p.did: p for p in self._prev_snapshot.pages}
+                      if self._prev_snapshot is not None else {})
+        for did in diff.deleted:
+            page = prev_pages.get(did)
+            self._tombstones[did] = page.fingerprint if page else ""
+        for did in diff.resurrected:
+            self._tombstones.pop(did, None)
         self._prev_snapshot = snapshot
         self.last_error = None
         record = ApplyRecord(
@@ -270,12 +323,16 @@ class MaterializedView:
             pages_unchanged=len(diff.unchanged),
             tuples_total=generation.total_tuples(),
             timings=timings.to_dict(),
+            delta=(delta_result.to_dict()
+                   if delta_result is not None else None),
             applied_at=time.time(),
             applied_mono=time.monotonic(),
         )
         self.history.append(record)
         if _oreg.ENABLED:
             self._publish_apply(record, timings)
+            if delta_result is not None:
+                self._publish_delta(record, delta_result)
         return record
 
     def _publish_apply(self, record: ApplyRecord, timings: Timings) -> None:
@@ -324,6 +381,94 @@ class MaterializedView:
         with timer.measure_total():
             upserts = extract_page_rows(self.plan, pages, timer)
         return timings, upserts
+
+    def _apply_delta_mode(self, snapshot: Snapshot, diff: SnapshotDiff,
+                          check: bool
+                          ) -> Tuple[Timings, DeltaApplyResult]:
+        """Differential maintenance through the relational plan."""
+        assert self._delta is not None
+        timings = Timings()
+        timer = Timer(timings)
+        with timer.measure_total():
+            result = self._delta.apply(snapshot, diff, check=check)
+        if check:
+            self._check_delta_against_batch(snapshot, result)
+        return timings, result
+
+    def _check_delta_against_batch(self, snapshot: Snapshot,
+                                   result: DeltaApplyResult) -> None:
+        """The delta-mode ``--check on`` guard: before the swap, the
+        delta-maintained generation must equal what a from-scratch
+        batch extraction of the whole snapshot would publish —
+        relation indexes byte-for-byte (content *and* sort order),
+        replaced pages' rows as sets. Failure keeps the previous
+        generation serving; the ingest loop quarantines the snapshot.
+        """
+        timer = Timer(Timings())
+        oracle_rows = extract_page_rows(
+            self.plan, list(snapshot.canonical_pages()), timer)
+        for rel in self.store.schema:
+            want: set = set()
+            for rels in oracle_rows.values():
+                want.update(rels.get(rel, ()))
+            want_sorted = tuple(sorted(want, key=_sort_key))
+            if result.relations.get(rel, ()) != want_sorted:
+                got = result.relations.get(rel, ())
+                raise ViewConsistencyError(
+                    f"view {self.config.name!r} snapshot "
+                    f"{snapshot.index}: delta-maintained relation "
+                    f"{rel!r} diverges from the batch oracle "
+                    f"({len(got)} vs {len(want_sorted)} tuple(s), or "
+                    "sort order drift)")
+        for did, rels in result.upserts.items():
+            fresh = oracle_rows.get(did)
+            if fresh is None:
+                raise ViewConsistencyError(
+                    f"view {self.config.name!r} snapshot "
+                    f"{snapshot.index}: delta upserted page {did!r} "
+                    "that is not in the snapshot")
+            for rel in self.store.schema:
+                if set(rels.get(rel, ())) != set(fresh.get(rel, ())):
+                    raise ViewConsistencyError(
+                        f"view {self.config.name!r} snapshot "
+                        f"{snapshot.index}: delta rows for page "
+                        f"{did!r} relation {rel!r} diverge from "
+                        "re-extraction")
+
+    def _publish_delta(self, record: ApplyRecord,
+                       result: DeltaApplyResult) -> None:
+        """The ``repro_delta_*`` metric families (observability.md)."""
+        name = self.config.name
+        for decision, count in sorted(result.decision_counts().items()):
+            _oreg.REGISTRY.inc(
+                "repro_delta_pages_total", float(count),
+                help="pages per classifier decision per view",
+                view=name, decision=decision)
+        counters = result.counters
+        _oreg.REGISTRY.inc(
+            "repro_delta_tuples_total", float(counters.rows_added),
+            help="tuple-level delta rows per view by kind",
+            view=name, kind="added")
+        _oreg.REGISTRY.inc(
+            "repro_delta_tuples_total", float(counters.rows_retracted),
+            help="tuple-level delta rows per view by kind",
+            view=name, kind="retracted")
+        _oreg.REGISTRY.inc(
+            "repro_delta_extractor_calls_total",
+            float(counters.extractor_calls),
+            help="extractor invocations the delta apply could not avoid",
+            view=name)
+        _oreg.REGISTRY.inc(
+            "repro_delta_memo_hits_total", float(counters.memo_hits),
+            help="IE region memo hits (extractions reused, not re-run)",
+            view=name)
+        _oreg.REGISTRY.set(
+            "repro_delta_fallback_ratio", result.fallback_ratio,
+            help="share of changed pages that fell back to "
+                 "re-extraction in the last apply", view=name)
+        _oreg.REGISTRY.observe(
+            "repro_delta_apply_seconds", record.seconds,
+            help="wall seconds per differential apply", view=name)
 
     def _check_against_engine(self, snapshot: Snapshot,
                               page_rows: PageRows,

@@ -52,6 +52,15 @@ class PFunctionEntry:
     name: str
     func: PFunction
     arity: int
+    #: True iff the function's verdict depends only on its argument
+    #: values — span offsets, span *contents*, and scalars — never on
+    #: page text outside the argument spans. Row-determined selections
+    #: stay valid for tuples a page edit did not touch, which is what
+    #: lets :mod:`repro.delta` classify an update as safe for in-place
+    #: delta propagation (Kassaie & Tompa's safe-update notion). The
+    #: conservative default is False: an unannotated function forces
+    #: the per-page re-extraction fallback on changed pages.
+    row_determined: bool = False
 
 
 class Registry:
@@ -78,10 +87,12 @@ class Registry:
     # -- p-functions -----------------------------------------------------
 
     def register_function(self, name: str, func: PFunction,
-                          arity: int) -> None:
+                          arity: int,
+                          row_determined: bool = False) -> None:
         if name in self._functions or name in self._extractors:
             raise ValueError(f"predicate {name!r} already bound")
-        self._functions[name] = PFunctionEntry(name, func, arity)
+        self._functions[name] = PFunctionEntry(name, func, arity,
+                                               row_determined)
 
     def function(self, name: str) -> PFunctionEntry:
         return self._functions[name]
@@ -170,16 +181,21 @@ def at_least(ctx: EvalContext, value: Value, threshold: Value) -> bool:
 
 
 def register_builtin_functions(registry: Registry) -> None:
+    # ``row_determined`` (3rd column) marks functions whose verdict is
+    # a pure function of their argument values. ``immBefore`` is the
+    # one exception: it inspects the page text *between* its two spans,
+    # which a page edit can change without touching either span.
     registry._functions.clear()
-    for name, func, arity in (
-        ("immBefore", imm_before, 2),
-        ("before", before, 2),
-        ("withinChars", within_chars, 3),
-        ("containsPhrase", contains_phrase, 2),
-        ("matches", matches, 2),
-        ("grossOver", gross_over, 2),
-        ("yearAfter", year_after, 2),
-        ("allCaps", all_caps, 1),
-        ("atLeast", at_least, 2),
+    for name, func, arity, row_determined in (
+        ("immBefore", imm_before, 2, False),
+        ("before", before, 2, True),
+        ("withinChars", within_chars, 3, True),
+        ("containsPhrase", contains_phrase, 2, True),
+        ("matches", matches, 2, True),
+        ("grossOver", gross_over, 2, True),
+        ("yearAfter", year_after, 2, True),
+        ("allCaps", all_caps, 1, True),
+        ("atLeast", at_least, 2, True),
     ):
-        registry._functions[name] = PFunctionEntry(name, func, arity)
+        registry._functions[name] = PFunctionEntry(name, func, arity,
+                                                   row_determined)

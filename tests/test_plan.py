@@ -69,6 +69,35 @@ class TestOperators:
         rows = [{"a": 1}, {"a": 1}, {"a": 2}]
         assert dedupe_rows(rows) == [{"a": 1}, {"a": 2}]
 
+    def test_dedupe_rows_order_independent(self):
+        # Regression: dedupe historically kept first-seen order, so a
+        # reordered input (e.g. a delta-maintained operator emitting
+        # rows in a different order) reordered everything downstream.
+        rows = [{"a": 2}, {"a": 1, "b": 0}, {"a": 1}, {"a": 3}]
+        shuffled = [rows[2], rows[3], rows[0], rows[1], rows[0]]
+        assert dedupe_rows(rows) == dedupe_rows(shuffled)
+
+    def test_dedupe_rows_canonical_with_spans(self):
+        rows = [{"v": Span("d0", 9, 12)}, {"v": Span("d0", 1, 4)}]
+        assert dedupe_rows(rows) == dedupe_rows(list(reversed(rows)))
+
+    def test_hash_join_order_independent(self):
+        # Same regression for joins: output must not depend on either
+        # input's ordering (documented tie-break: sort by the repr of
+        # each row's sorted (var, value) pairs — injective on distinct
+        # rows, so there are no ties).
+        left = [{"a": 1, "b": 2}, {"a": 1, "b": 3}, {"a": 2, "b": 1}]
+        right = [{"a": 1, "c": 9}, {"a": 1, "c": 8}, {"a": 2, "c": 7}]
+        want = hash_join(left, right, ["a"])
+        assert hash_join(list(reversed(left)), right, ["a"]) == want
+        assert hash_join(left, list(reversed(right)), ["a"]) == want
+        assert len(want) == 5
+
+    def test_hash_join_preserves_duplicate_multiplicity(self):
+        left = [{"a": 1}, {"a": 1}]
+        got = hash_join(left, [{"a": 1, "c": 2}], ["a"])
+        assert got == [{"a": 1, "c": 2}, {"a": 1, "c": 2}]
+
     def test_signature_stable_and_distinct(self):
         scan = ScanNode("d")
         assert scan.signature == ScanNode("d").signature

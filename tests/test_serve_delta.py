@@ -1,0 +1,178 @@
+"""Serving-layer delta mode: byte-identity with the other modes, the
+batch-oracle guard, resurrection via tombstones, and the check grid's
+view-maintenance axis."""
+
+import pytest
+
+from repro.check.grid import CheckConfig, build_grid
+from repro.check.oracle import run_oracle
+from repro.corpus.evolve import dblife_corpus
+from repro.corpus.snapshot import snapshot_from_texts
+from repro.extractors.library import make_task
+from repro.obs import registry as obs_registry
+from repro.serve.views import (
+    MaterializedView,
+    ViewConfig,
+    ViewConsistencyError,
+)
+
+
+def make_view(tmp_path, name, system, task="talk"):
+    return MaterializedView(
+        ViewConfig(name=name, task=task, system=system, work_scale=0),
+        str(tmp_path / name))
+
+
+@pytest.fixture()
+def churny_snapshots():
+    return list(dblife_corpus(n_pages=12, seed=21, p_unchanged=0.5)
+                .snapshots(4))
+
+
+class TestDeltaMode:
+    def test_delta_registers_as_maintenance_system(self, tmp_path):
+        view = make_view(tmp_path, "v", "delta")
+        assert view._delta is not None
+        with pytest.raises(ValueError):
+            ViewConfig(name="x", task="talk", system="bogus")
+
+    def test_byte_identical_to_noreuse_every_generation(
+            self, tmp_path, churny_snapshots):
+        delta = make_view(tmp_path, "delta", "delta", task="chair")
+        noreuse = make_view(tmp_path, "noreuse", "noreuse", task="chair")
+        for snapshot in churny_snapshots:
+            delta.apply_snapshot(snapshot, check=True)
+            noreuse.apply_snapshot(snapshot, check=True)
+            gd, gn = delta.generation, noreuse.generation
+            # The published relation indexes must agree byte-for-byte
+            # (content AND order), not just as sets.
+            assert dict(gd.relations) == dict(gn.relations)
+            assert set(gd.page_rows) == set(gn.page_rows)
+            for did in gd.page_rows:
+                for rel in delta.store.schema:
+                    assert (set(gd.page_rows[did].get(rel, ()))
+                            == set(gn.page_rows[did].get(rel, ()))), (
+                        did, rel)
+
+    def test_apply_record_carries_delta_telemetry(
+            self, tmp_path, churny_snapshots):
+        view = make_view(tmp_path, "v", "delta")
+        record = view.apply_snapshot(churny_snapshots[0])
+        assert record.delta is not None
+        assert record.delta["decisions"] == {
+            "new": len(churny_snapshots[0].pages)}
+        data = record.to_dict()
+        assert data["delta"]["fallback_ratio"] == 0.0
+        # Non-delta modes don't grow the field.
+        other = make_view(tmp_path, "n", "noreuse")
+        rec2 = other.apply_snapshot(churny_snapshots[0])
+        assert rec2.delta is None
+        assert "delta" not in rec2.to_dict()
+
+    def test_check_guard_catches_drift(self, tmp_path, churny_snapshots):
+        view = make_view(tmp_path, "v", "delta")
+        view.apply_snapshot(churny_snapshots[0], check=True)
+        # Corrupt the maintained index behind the view's back: the
+        # pre-swap guard must refuse to publish the next generation.
+        rel = view.store.schema[0]
+        view._delta.index[rel] = view._delta.index[rel] + (
+            (("speaker", (0, 4, "Evil")),),)
+        gen_before = view.generation.gen_id
+        with pytest.raises(ViewConsistencyError):
+            view.apply_snapshot(churny_snapshots[1], check=True)
+        assert view.generation.gen_id == gen_before  # still serving
+
+    def test_delta_metrics_published(self, tmp_path, churny_snapshots):
+        obs_registry.REGISTRY.reset()
+        obs_registry.enable()
+        try:
+            view = make_view(tmp_path, "v", "delta")
+            for snapshot in churny_snapshots[:2]:
+                view.apply_snapshot(snapshot)
+            families = {f.name for f in
+                        obs_registry.REGISTRY.families()}
+        finally:
+            obs_registry.disable()
+            obs_registry.REGISTRY.reset()
+        assert {"repro_delta_pages_total", "repro_delta_tuples_total",
+                "repro_delta_fallback_ratio",
+                "repro_delta_apply_seconds",
+                "repro_delta_extractor_calls_total",
+                "repro_delta_memo_hits_total"} <= families
+
+
+class TestResurrection:
+    SERIES = [
+        {"stay": "talk by Alice Chen. Topics: graphs.\n",
+         "churn": "talk by Karen Xu. Topics: joins.\n"},
+        {"stay": "talk by Alice Chen. Topics: graphs.\n"},
+        {"stay": "talk by Alice Chen. Topics: graphs.\n",
+         "churn": "talk by Karen Xu. Topics: joins.\n"},
+    ]
+
+    def snapshots(self):
+        return [snapshot_from_texts(i, texts)
+                for i, texts in enumerate(self.SERIES)]
+
+    def test_diff_distinguishes_resurrected_from_new(self, tmp_path):
+        view = make_view(tmp_path, "v", "delta")
+        s0, s1, s2 = self.snapshots()
+        view.apply_snapshot(s0)
+        view.apply_snapshot(s1)
+        diff = view.diff_snapshot(s2)
+        assert len(diff.new) == 1
+        assert diff.resurrected == diff.new  # returned, not brand new
+        view.apply_snapshot(s2)
+        # Once re-applied the tombstone is consumed.
+        assert view._tombstones == {}
+
+    @pytest.mark.parametrize("system", ["delta", "noreuse", "delex"])
+    def test_churn_cycle_retract_then_add(self, tmp_path, system):
+        """Deletion retracts the page's tuples; the identical-text
+        return re-adds them — in every maintenance mode."""
+        view = make_view(tmp_path, system, system)
+        gens = []
+        for snapshot in self.snapshots():
+            view.apply_snapshot(snapshot, check=True)
+            gens.append(view.generation)
+        counts = [len(g.relations.get("talk", ())) for g in gens]
+        assert counts == [2, 1, 2]
+        assert gens[2].relations == gens[0].relations
+
+    def test_resurrected_decision_recorded(self, tmp_path):
+        view = make_view(tmp_path, "v", "delta")
+        records = [view.apply_snapshot(s, check=True)
+                   for s in self.snapshots()]
+        assert records[1].delta["decisions"] == {
+            "deleted": 1, "unchanged": 1}
+        assert records[2].delta["decisions"] == {
+            "resurrected": 1, "unchanged": 1}
+
+
+class TestCheckGridViewAxis:
+    def test_grids_contain_view_configs(self):
+        small = [c for c in build_grid("small") if c.view != "-"]
+        assert [c.view for c in small] == ["delta"]
+        full = {c.view for c in build_grid("full") if c.view != "-"}
+        assert full == {"delta", "noreuse", "delex"}
+
+    def test_config_id_and_round_trip(self):
+        cfg = CheckConfig(system="delta", view="delta")
+        assert cfg.config_id.startswith("view-delta/")
+        assert CheckConfig.from_dict(cfg.as_dict()) == cfg
+        assert not cfg.capture_comparable()
+        with pytest.raises(ValueError):
+            CheckConfig(system="delex", view="bogus")
+
+    def test_oracle_sweeps_delta_view(self, tmp_path):
+        task = make_task("talk", work_scale=0)
+        snapshots = list(dblife_corpus(n_pages=8, seed=5,
+                                       p_unchanged=0.5).snapshots(3))
+        grid = [CheckConfig(system="delta", view="delta"),
+                CheckConfig(system="noreuse", view="noreuse")]
+        report = run_oracle(task, snapshots, grid,
+                            workdir=str(tmp_path / "sweep"))
+        assert report.ok, report.summary()
+        assert {o.config.config_id for o in report.outcomes} == {
+            "view-delta/-/fp-on/serialx1",
+            "view-noreuse/-/fp-on/serialx1"}
