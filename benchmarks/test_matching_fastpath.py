@@ -1,20 +1,27 @@
 """Snapshot-delta fast-path benchmark (extension).
 
-Low-churn corpora are the fast paths' home turf: with >= 60% of pages
+Low-churn corpora are the fast paths' home turf: with ~95% of pages
 unchanged between snapshots, fingerprint short circuits skip the
-matcher on most page pairs and the match memo / automaton cache absorb
-most of the rest. This benchmark runs Delex with a pinned matcher
-assignment over a low-churn DBLife series twice — fast paths on and
-off — and compares the *matcher* wall time (the ``match`` category of
-the Figure 11 decomposition) plus the fast-path hit counters. It
-emits a machine-readable ``BENCH_fastpath.json`` at the repo root and
-asserts the headline claim: at least ``MIN_MATCH_SPEEDUP``x less
-matcher time with the fast paths on, at identical results.
+matcher on most page pairs and the content-keyed match memo, the
+cross-snapshot match cache, and the automaton cache absorb most of
+the rest. This benchmark runs Delex with a pinned matcher assignment
+over a low-churn DBLife series twice — fast paths on and off — and
+compares the *matcher* wall time (the ``match`` category of the
+Figure 11 decomposition) plus the fast-path hit counters. Each series
+is repeated ``REPS`` times with GC paused and the minimum match time
+kept, the standard defence against scheduler noise at millisecond
+scale. It emits a machine-readable ``BENCH_fastpath.json`` at the
+repo root and asserts the headline claims: per-matcher match-time
+speedup floors (``MIN_MATCH_SPEEDUP``) and a combined hit rate of the
+content-keyed layers (memo + cross-snapshot cache + equal-region
+short circuit) of at least ``MIN_COMBINED_HIT_RATE`` — at identical
+results.
 
 Intentionally free of the pytest-benchmark fixture so it runs under a
 plain ``pytest``/``hypothesis`` install (the CI smoke job).
 """
 
+import gc
 import json
 import os
 
@@ -32,10 +39,17 @@ BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_fastpath.json")
 
 TASK = "chair"
 PAGES = int(os.environ.get("REPRO_BENCH_FASTPATH_PAGES", "40"))
-N_SNAPSHOTS = int(os.environ.get("REPRO_BENCH_FASTPATH_SNAPSHOTS", "4"))
-P_UNCHANGED = 0.7        # low churn: >= 60% of pages identical
+N_SNAPSHOTS = int(os.environ.get("REPRO_BENCH_FASTPATH_SNAPSHOTS", "8"))
+P_UNCHANGED = 0.95       # low churn: ~95% of pages identical (DBLife-like)
 WORK_SCALE = float(os.environ.get("REPRO_BENCH_FASTPATH_WORK", "0.2"))
-MIN_MATCH_SPEEDUP = 2.0  # on-vs-off matcher wall-time factor (ST)
+REPS = int(os.environ.get("REPRO_BENCH_FASTPATH_REPS", "3"))
+#: On-vs-off matcher wall-time floor per matcher. ST rides the
+#: k-gram kernel plus all three cache layers; UD's pure-Python diff
+#: is already near-linear on low-churn pages, so its floor is lower.
+MIN_MATCH_SPEEDUP = {ST_NAME: 10.0, UD_NAME: 4.0}
+#: Content-keyed layers (memo + cross-snapshot cache + equal-region
+#: short circuit) must absorb at least this share of match_many work.
+MIN_COMBINED_HIT_RATE = 0.30
 
 
 def _run(task, snapshots, assignment, fastpath, workdir):
@@ -47,15 +61,20 @@ def _run(task, snapshots, assignment, fastpath, workdir):
     outputs = []
     fp_rows = []
     prev = None
-    for i, snapshot in enumerate(snapshots):
-        result = system.process(snapshot, prev)
-        if i > 0:  # skip the bootstrap: no matching happens there
-            match_seconds += result.timings.get("match")
-            total_seconds += result.timings.total
-            if result.timings.fastpath is not None:
-                fp_rows.append(result.timings.fastpath.as_dict())
-        outputs.append(canonical_results(result))
-        prev = snapshot
+    gc.collect()
+    gc.disable()
+    try:
+        for i, snapshot in enumerate(snapshots):
+            result = system.process(snapshot, prev)
+            if i > 0:  # skip the bootstrap: no matching happens there
+                match_seconds += result.timings.get("match")
+                total_seconds += result.timings.total
+                if result.timings.fastpath is not None:
+                    fp_rows.append(result.timings.fastpath.as_dict())
+            outputs.append(canonical_results(result))
+            prev = snapshot
+    finally:
+        gc.enable()
     counters = {}
     for row in fp_rows:
         for key, value in row.items():
@@ -69,11 +88,30 @@ def _run(task, snapshots, assignment, fastpath, workdir):
         counters.get("pages_short_circuited", 0) / paired if paired else 0.0)
     counters["memo_hit_rate"] = (
         counters.get("memo_hits", 0) / memo_calls if memo_calls else 0.0)
+    hits = (counters.get("memo_hits", 0) + counters.get("cache_hits", 0)
+            + counters.get("region_short_circuits", 0))
+    lookups = hits + counters.get("memo_misses", 0)
+    counters["combined_hit_rate"] = hits / lookups if lookups else 0.0
     return {
         "match_seconds": match_seconds,
         "total_seconds": total_seconds,
         "fastpath": counters,
     }, outputs
+
+
+def _run_best(task, snapshots, assignment, fastpath, workdir):
+    """Min-of-``REPS`` series: keeps the repetition with the least
+    matcher wall time (counters and outputs are deterministic across
+    repetitions, only the clock is noisy)."""
+    best = None
+    best_out = None
+    for rep in range(REPS):
+        res, outputs = _run(task, snapshots, assignment, fastpath,
+                            os.path.join(workdir, f"rep{rep}"))
+        if best is None or res["match_seconds"] < best["match_seconds"]:
+            best = res
+            best_out = outputs
+    return best, best_out
 
 
 def run_matching_fastpath(tmp_root):
@@ -89,16 +127,18 @@ def run_matching_fastpath(tmp_root):
         "snapshots": N_SNAPSHOTS,
         "p_unchanged": P_UNCHANGED,
         "work_scale": WORK_SCALE,
-        "min_match_speedup": MIN_MATCH_SPEEDUP,
+        "reps": REPS,
+        "min_match_speedup": dict(MIN_MATCH_SPEEDUP),
+        "min_combined_hit_rate": MIN_COMBINED_HIT_RATE,
         "cpu_count": os.cpu_count(),
         "matchers": {},
     }
     for matcher in (ST_NAME, UD_NAME):
         assignment = PlanAssignment.uniform(units, matcher)
-        slow, slow_out = _run(
+        slow, slow_out = _run_best(
             task, snapshots, assignment, "off",
             os.path.join(tmp_root, f"{matcher}_off"))
-        fast, fast_out = _run(
+        fast, fast_out = _run_best(
             task, snapshots, assignment, "on",
             os.path.join(tmp_root, f"{matcher}_on"))
         assert fast_out == slow_out, \
@@ -120,9 +160,10 @@ def run_matching_fastpath(tmp_root):
 def _render(data):
     lines = [f"Matching fast paths ('{data['task']}', {data['pages']} "
              f"pages, {data['snapshots']} snapshots, "
-             f"p_unchanged={data['p_unchanged']})",
+             f"p_unchanged={data['p_unchanged']}, "
+             f"best of {data['reps']})",
              f"{'matcher':<9}{'match off':>11}{'match on':>11}"
-             f"{'speedup':>9}{'unchanged':>11}{'memo hit':>10}"]
+             f"{'speedup':>9}{'unchanged':>11}{'hit rate':>10}"]
     for name, row in data["matchers"].items():
         fp = row["fastpath"]
         speedup = row["match_speedup"]
@@ -132,7 +173,7 @@ def _render(data):
             f"{name:<9}{row['match_seconds_off']:>10.3f}s"
             f"{row['match_seconds_on']:>10.3f}s{speedup_txt:>9}"
             f"{fp['unchanged_fraction']:>11.2f}"
-            f"{fp['memo_hit_rate']:>10.2f}")
+            f"{fp['combined_hit_rate']:>10.2f}")
     return "\n".join(lines) + "\n"
 
 
@@ -143,15 +184,17 @@ def test_matching_fastpath(tmp_path):
         f.write("\n")
     save_table("matching_fastpath.txt", _render(data))
 
-    st = data["matchers"][ST_NAME]
-    fp = st["fastpath"]
-    # The corpus really is low-churn and the identity path fired on it.
-    assert fp["unchanged_fraction"] >= 0.5, fp
-    assert fp["pages_short_circuited"] > 0
-    # Headline: the fast paths cut matcher wall time by >= 2x.
-    assert st["match_speedup"] >= MIN_MATCH_SPEEDUP, \
-        (f"ST match speedup {st['match_speedup']:.2f} < "
-         f"{MIN_MATCH_SPEEDUP}")
-    # UD benefits too (memo + identity path); weaker floor because its
-    # per-call cost is already linear on low-churn diffs.
-    assert data["matchers"][UD_NAME]["match_speedup"] > 1.0
+    for name, floor in MIN_MATCH_SPEEDUP.items():
+        row = data["matchers"][name]
+        fp = row["fastpath"]
+        # The corpus really is low-churn and the identity path fired.
+        assert fp["unchanged_fraction"] >= 0.5, fp
+        assert fp["pages_short_circuited"] > 0
+        # Headline: matcher wall time cut by the per-matcher floor.
+        assert row["match_speedup"] >= floor, \
+            (f"{name} match speedup {row['match_speedup']:.2f} < {floor}")
+        # The content-keyed layers, not just the identity short
+        # circuit, carry the speedup.
+        assert fp["combined_hit_rate"] >= MIN_COMBINED_HIT_RATE, \
+            (f"{name} combined hit rate {fp['combined_hit_rate']:.2f} "
+             f"< {MIN_COMBINED_HIT_RATE}")

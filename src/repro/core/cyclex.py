@@ -55,7 +55,7 @@ from .noreuse import run_page_plain
 _PROGRAM_ITID = 0
 
 #: Worker state: everything a batch needs besides its pages.
-_CyclexState = Tuple[CompiledPlan, int, int, str]
+_CyclexState = Tuple[CompiledPlan, int, int, str, str]
 
 #: One page's work item: ("fresh", page) re-extracts from scratch;
 #: ("pair", page, q_page, prev_rows) recycles from the old version;
@@ -124,12 +124,12 @@ def _cyclex_batch_worker(state: _CyclexState,
     the serial single-matcher run: Cyclex never assigns RU, so the
     cache is write-only.
     """
-    plan, alpha, beta, matcher_name = state
+    plan, alpha, beta, matcher_name, kernel = state
     timings = Timings()
     timer = Timer(timings)
     matcher = make_matcher(
         matcher_name, MatchCache(),
-        min_length=max(8, min(2 * beta + 2, 32)))
+        min_length=max(8, min(2 * beta + 2, 32)), kernel=kernel)
     out: List[Dict[str, list]] = []
     for item in payload:
         if item[0] == "fresh":
@@ -188,6 +188,10 @@ class CyclexSystem:
     def _result_file(self, directory: str, rel: str) -> str:
         return os.path.join(directory, f"cyclex_{rel}.O.reuse")
 
+    def _kernel(self) -> str:
+        """Matcher kernel mode for this run's fastpath setting."""
+        return "auto" if self.fastpath.want("kernels") else "off"
+
     # -- matcher selection (the Cyclex optimizer, probe-based) ------------
 
     def _choose_matcher(self, snapshot: Snapshot,
@@ -224,7 +228,8 @@ class CyclexSystem:
             for name in (UD_NAME, ST_NAME):
                 matcher = make_matcher(
                     name, MatchCache(),
-                    min_length=max(8, min(2 * self.beta + 2, 32)))
+                    min_length=max(8, min(2 * self.beta + 2, 32)),
+                    kernel=self._kernel())
                 cost = 0.0
                 for page, old in pairs:
                     t0 = time.perf_counter()
@@ -325,7 +330,7 @@ class CyclexSystem:
                 payloads = [tuple(work[p.did] for p in batch.pages)
                             for batch in batches]
                 state: _CyclexState = (self.plan, self.alpha, self.beta,
-                                       matcher_name)
+                                       matcher_name, self._kernel())
                 wall_start = time.perf_counter()
                 timed = self.executor.map_batches(_cyclex_batch_worker,
                                                   state, payloads)

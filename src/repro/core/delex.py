@@ -21,6 +21,8 @@ from typing import Dict, List, Optional
 from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask
 from ..fastpath.config import FastPathConfig
+from ..fastpath.matchcache import CrossSnapshotMatchCache
+from ..obs import registry as _oreg
 from ..optimizer.search import SearchResult, search_plan
 from ..optimizer.stats import collect_statistics
 from ..plan.compile import CompiledPlan, compile_program
@@ -75,6 +77,13 @@ class DelexSystem:
         #: at zero extra extraction cost by the engine.
         self.collect_page_rows = collect_page_rows
         self.last_page_rows: Optional[Dict[str, Dict[str, list]]] = None
+        #: Cross-snapshot match cache: owned here (not by the engine,
+        #: which is rebuilt per ``process`` call) so content-keyed
+        #: match results survive across the whole snapshot series.
+        self.match_cache: Optional[CrossSnapshotMatchCache] = None
+        if (self.fastpath.want("match_cache")
+                and self.fastpath.want("match_memo")):
+            self.match_cache = CrossSnapshotMatchCache()
 
     def _out_dir(self) -> str:
         return os.path.join(self.workdir,
@@ -139,7 +148,8 @@ class DelexSystem:
         engine = ReuseEngine(self.plan, self.units, assignment,
                              scope=self.scope, executor=self.executor,
                              scheduler=self.scheduler,
-                             fastpath=self.fastpath)
+                             fastpath=self.fastpath,
+                             match_cache=self.match_cache)
         out_dir = self._out_dir()
         page_rows_out: Optional[Dict[str, Dict[str, list]]] = (
             {} if self.collect_page_rows else None)
@@ -150,6 +160,8 @@ class DelexSystem:
             page_rows_out=page_rows_out)
         self.last_page_rows = page_rows_out
         self._last_result = result
+        if self.match_cache is not None and _oreg.ENABLED:
+            _oreg.publish_matchcache(self.name, self.match_cache)
         self._gc_old_capture()
         self._prev_dir = out_dir
         self._snapshot_serial += 1

@@ -11,15 +11,21 @@ through corpus, matchers, reuse engine, runtime, and timing:
   short-circuit to a whole-page identity match: all units' recorded
   tuples are recycled wholesale, with no matcher run and no region
   derivation.
-* **Cross-unit match memo** (:class:`.memo.MatchMemo`) — keyed by
-  (page pair, matcher, p-region, q-region), so every IE unit in a
-  chain that matches the same region pair pays the diff exactly once
-  per snapshot transition. Distinct from the RU
+* **Content-keyed match memo** (:class:`.memo.MatchMemo`) — keyed by
+  (matcher config, p-region fingerprint, q-region fingerprint), so
+  every IE unit matching the same region *content* pays the diff
+  exactly once, wherever the regions sit. Distinct from the RU
   :class:`~repro.matchers.base.MatchCache`, which stores *found
   segments* for recycling by a different matcher; the memo stores the
-  full match result for an exact repeat of the same call.
+  full match result for a content-equal repeat of the same call.
+* **Cross-snapshot match cache**
+  (:class:`.matchcache.CrossSnapshotMatchCache`) — a bounded LRU over
+  the same content keys that outlives the page pair, carried across
+  the snapshot series by the reuse engine and ``repro.serve`` views,
+  so snapshot k+1 replays snapshot k's match results beyond what RU
+  captures.
 * **Suffix-automaton cache** (:class:`.memo.AutomatonCache`) — the ST
-  matcher's per-(page, q-region) automaton is built once per page pair
+  matcher's automaton per q-region content is built once per page pair
   and reused across input rows and units.
 * **Indexed reuse-file reader**
   (:class:`.reader_index.IndexedReuseFileReader`) — an in-memory
@@ -37,16 +43,19 @@ serial/parallel parity). Hit/miss counters are reported through
 
 from .config import FastPathConfig
 from .fingerprint import content_fingerprint, pages_identical
-from .memo import AutomatonCache, MatchMemo
+from .matchcache import CrossSnapshotMatchCache
+from .memo import AutomatonCache, MatchMemo, RegionFingerprints
 from .reader_index import IndexedReuseFileReader
 from .stats import FastPathStats
 
 __all__ = [
     "AutomatonCache",
+    "CrossSnapshotMatchCache",
     "FastPathConfig",
     "FastPathStats",
     "IndexedReuseFileReader",
     "MatchMemo",
+    "RegionFingerprints",
     "content_fingerprint",
     "pages_identical",
 ]

@@ -23,10 +23,20 @@ class FastPathConfig:
             flag were off.
         unchanged_page: fingerprint-equal page pairs short-circuit to
             a whole-page identity match (wholesale tuple recycling).
-        match_memo: memoize (matcher, p-region, q-region) calls within
-            a page pair so chained units pay each diff once.
+        match_memo: memoize matcher calls content-keyed on
+            (matcher config, p-region fingerprint, q-region
+            fingerprint) within a page pair, so chained units pay each
+            diff once and equal-content regions share results.
+        match_cache: carry memoized match results across page pairs
+            and snapshots in a bounded LRU
+            (:class:`~repro.fastpath.matchcache.CrossSnapshotMatchCache`);
+            requires ``match_memo`` (the memo is the lookup path).
         automaton_cache: reuse ST's suffix automaton per (page pair,
-            q-region) across rows and units.
+            q-region content) across rows and units.
+        kernels: let matchers use the vectorized numpy kernels above
+            the optimizer's size thresholds (pure-Python fallback is
+            parity-pinned; this flag plus a missing numpy both mean
+            "pure Python everywhere").
         reader_index: serve out-of-order page-matching scopes from an
             offset-indexed reuse-file reader instead of materializing
             whole files in memory.
@@ -35,7 +45,9 @@ class FastPathConfig:
     enabled: bool = True
     unchanged_page: bool = True
     match_memo: bool = True
+    match_cache: bool = True
     automaton_cache: bool = True
+    kernels: bool = True
     reader_index: bool = True
 
     @classmethod
@@ -45,7 +57,8 @@ class FastPathConfig:
     @classmethod
     def off(cls) -> "FastPathConfig":
         return cls(enabled=False, unchanged_page=False, match_memo=False,
-                   automaton_cache=False, reader_index=False)
+                   match_cache=False, automaton_cache=False, kernels=False,
+                   reader_index=False)
 
     @classmethod
     def from_flag(cls, value: Union[None, str, bool, "FastPathConfig"]
@@ -76,7 +89,8 @@ class FastPathConfig:
         if not self.enabled:
             return "fastpath=off"
         active = [name for name in ("unchanged_page", "match_memo",
-                                    "automaton_cache", "reader_index")
+                                    "match_cache", "automaton_cache",
+                                    "kernels", "reader_index")
                   if getattr(self, name)]
         return "fastpath=on(" + ",".join(active) + ")"
 

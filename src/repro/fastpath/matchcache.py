@@ -1,0 +1,134 @@
+"""Persistent, content-keyed cache of matcher results.
+
+:class:`~repro.fastpath.memo.MatchMemo` deduplicates matcher calls
+*within* one page pair; this cache is the layer above it — it outlives
+the page pair and is carried across the whole snapshot series by the
+reuse engine (and by ``repro.serve`` views across ``apply()`` calls).
+Keys are ``(matcher config, fp(p_text[p_region]), fp(q_text[q_region]))``
+— pure content, no offsets — so snapshot k+1 replays snapshot k's
+match triples whenever the same region content recurs, regardless of
+where it moved. Values are *relative* segment triples
+``(dp, dq, length)``; the memo rebases them onto the current region
+offsets and retags itids on replay.
+
+The cache is an LRU bounded by both entry count and an estimate of
+retained bytes, with eviction stats exposed via :meth:`counters` (the
+``repro_matchcache_*`` metric families). A lock makes it safe under
+the runtime's thread backend, where all workers share one cache;
+process workers get a private per-worker cache instead (the engine's
+pickle whitelist drops the cache) whose *hit/miss* traffic still merges
+into the run's :class:`~repro.fastpath.stats.FastPathStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+#: Key: (matcher config key, p-region fingerprint, q-region fingerprint).
+CacheKey = Tuple[tuple, bytes, bytes]
+
+#: Value: ((dp, dq, length), ...) region-relative segments, plus the
+#: seconds the original matcher call took (for seconds-saved accounting).
+CacheValue = Tuple[Tuple[Tuple[int, int, int], ...], float]
+
+#: Rough per-entry overhead: key tuples + fingerprints + dict slot.
+_ENTRY_BASE_BYTES = 200
+#: Rough bytes per stored (dp, dq, length) triple.
+_SEGMENT_BYTES = 120
+
+
+def _entry_bytes(segments: Tuple[Tuple[int, int, int], ...]) -> int:
+    return _ENTRY_BASE_BYTES + _SEGMENT_BYTES * len(segments)
+
+
+class CrossSnapshotMatchCache:
+    """Bounded LRU of content-keyed match results.
+
+    Thread-safe; shared across page pairs and snapshots. All counters
+    are lifetime totals since construction.
+    """
+
+    def __init__(self, max_entries: int = 65536,
+                 max_bytes: int = 32 * 1024 * 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._data: "OrderedDict[CacheKey, Tuple[CacheValue, int]]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+
+    def get(self, key: CacheKey) -> Optional[CacheValue]:
+        """The cached (segments, cost) for ``key``, refreshing its LRU
+        position, or None."""
+        with self._lock:
+            hit = self._data.get(key)
+            if hit is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return hit[0]
+
+    def put(self, key: CacheKey, segments: Tuple[Tuple[int, int, int], ...],
+            cost_seconds: float) -> int:
+        """Insert (or refresh) an entry; returns how many entries were
+        evicted to make room."""
+        nbytes = _entry_bytes(segments)
+        evicted = 0
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._data[key] = ((segments, cost_seconds), nbytes)
+            self._bytes += nbytes
+            self.inserts += 1
+            while self._data and (len(self._data) > self.max_entries
+                                  or self._bytes > self.max_bytes):
+                _, (_, freed) = self._data.popitem(last=False)
+                self._bytes -= freed
+                self.evictions += 1
+                evicted += 1
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def bytes(self) -> int:
+        return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime counters + current occupancy, for /metrics and
+        bench reports."""
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "inserts": self.inserts,
+                "evictions": self.evictions,
+            }
+
+    def describe(self) -> str:
+        c = self.counters()
+        return (f"matchcache entries={c['entries']} bytes={c['bytes']} "
+                f"hits={c['hits']} misses={c['misses']} "
+                f"inserts={c['inserts']} evictions={c['evictions']}")

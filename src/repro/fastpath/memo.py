@@ -1,70 +1,163 @@
-"""Cross-unit match memoization and suffix-automaton reuse.
-
-Both caches live for exactly one page pair (p, q): the reuse engine
-creates them in ``run_page`` and drops them when the page is done, so
-no invalidation logic is needed — a new snapshot transition simply
-starts from empty caches.
+"""Content-keyed match memoization and suffix-automaton reuse.
 
 :class:`MatchMemo` memoizes whole matcher calls. Its key is
-(matcher configuration, p-region bounds, q-region bounds); within one
-page pair the texts are fixed, so the key fully determines the match
-result. Every IE unit in a chain that matches the same region pair
-(chained units frequently re-match the regions their producers
-matched) pays the diff exactly once per snapshot transition. Only the
-stateless matchers (ST, UD, WS) are memoized: RU's result depends on
-the mutable :class:`~repro.matchers.base.MatchCache` and DN never
-matches, so both always delegate.
+(matcher config key, fingerprint of ``p_text[p_region]``, fingerprint
+of ``q_text[q_region]``) — pure *content*, no offsets — so a hit is
+valid wherever the same region text recurs: chained units re-matching
+their producers' regions, different pages sharing boilerplate, and
+(through an optional shared :class:`~repro.fastpath.matchcache.
+CrossSnapshotMatchCache`) later snapshots re-matching regions that
+merely moved. Stored segments are region-relative triples; replay
+rebases them onto the caller's region offsets and tags the caller's
+itid, so a hit is byte-for-byte what the matcher would have produced.
+Only the stateless matchers (ST, UD, WS) are memoized: RU's result
+depends on the mutable :class:`~repro.matchers.base.MatchCache` and DN
+never matches, so both always delegate.
 
-:class:`AutomatonCache` is finer-grained: when the same q-region is
-matched against *different* p-regions (many input rows per unit, or
-sibling units), the ST matcher's suffix automaton over the q-region is
-identical each time; building it dominates ST's cost, so it is built
-once and reused.
+Two extra layers ride on the content keys:
+
+* **Equal-region shortcut** — when both fingerprints are equal, ST and
+  UD provably return the single full-region segment (or nothing, for
+  ST regions under ``min_length``), so the memo answers in O(1)
+  without ever running a matcher (``region_short_circuits``). WS is
+  excluded: repeated k-grams can make it emit extra shifted segments
+  even for identical regions.
+
+* **:class:`AutomatonCache`** — per page pair, ST's suffix automaton
+  over a q-region is keyed by the region's fingerprint, so a hit costs
+  one dict probe instead of the full O(region) body copy + memcmp the
+  bounds-keyed version paid (``automata_bytes_copied`` grows only on
+  builds — its staying flat across hits is the proof).
+
+The memo and automaton cache live for one page pair; fingerprints are
+memoized per (text identity, bounds) so each unique region is hashed
+once. With ``--check`` enabled, every replayed result is re-verified
+to witness text equality inside the *current* regions, which also
+makes a (cryptographically negligible) blake2b collision detectable.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 from ..check import invariants as _inv
 from ..matchers.base import Matcher
 from ..obs import trace as _otrace
 from ..matchers.st import SuffixAutomaton
+from .fingerprint import content_fingerprint
 from ..text.regions import MatchSegment
 from ..text.span import Interval
+from .matchcache import CrossSnapshotMatchCache
 from .stats import FastPathStats
 
 #: Matchers whose ``match`` is a pure function of (texts, regions,
-#: config) — safe to memoize per page pair.
+#: config) — safe to memoize and to share across snapshots.
 MEMOIZABLE = ("ST", "UD", "WS")
-
-#: Configuration attributes that distinguish matcher instances.
-_CONFIG_ATTRS = ("min_length", "max_d", "k", "window", "max_anchors")
 
 
 def matcher_config_key(matcher: Matcher) -> Tuple:
-    """Hashable identity of a matcher's behaviour-relevant config."""
-    return (matcher.name,) + tuple(getattr(matcher, attr, None)
-                                   for attr in _CONFIG_ATTRS)
+    """Hashable identity of a matcher's behaviour-relevant config.
+
+    Delegates to :meth:`repro.matchers.base.Matcher.config_key`; kept
+    as a function for callers that hold only a matcher instance.
+    """
+    return matcher.config_key()
+
+
+class RegionFingerprints:
+    """Memoized blake2b fingerprints of one text's regions.
+
+    Each unique (start, end) is sliced and hashed exactly once; the
+    digest then stands in for the region's content in every cache key.
+    Bound to one text object — callers swap in a fresh instance when
+    the text changes (identity check, so no text comparison either).
+    """
+
+    __slots__ = ("text", "_digests")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._digests: Dict[Tuple[int, int], str] = {}
+
+    def get(self, start: int, end: int) -> str:
+        key = (start, end)
+        digest = self._digests.get(key)
+        if digest is None:
+            digest = content_fingerprint(self.text[start:end])
+            self._digests[key] = digest
+        return digest
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+
+def _rebase(rel_segments: Tuple[Tuple[int, int, int], ...],
+            p_start: int, q_start: int, itid: int) -> List[MatchSegment]:
+    """Region-relative triples -> absolute tagged segments."""
+    return [MatchSegment(p_start + dp, q_start + dq, length, q_itid=itid)
+            for dp, dq, length in rel_segments]
 
 
 class MatchMemo:
-    """Per-page-pair memo of matcher calls.
+    """Per-page-pair, content-keyed memo of matcher calls.
 
-    Stores the *untagged* segment list exactly as ``Matcher.match``
-    returned it; replays re-tag with the caller's candidate itid, so a
-    hit is byte-for-byte what the matcher would have produced.
+    ``shared``, when given, is a :class:`CrossSnapshotMatchCache`
+    consulted on local misses and populated on matcher runs — the
+    layer that carries results across page pairs and snapshots. Its
+    hit/miss traffic lands in ``stats.cache_hits`` /
+    ``stats.cache_misses`` (every shared miss also counts as a
+    ``memo_miss``, since the matcher then runs).
     """
 
-    def __init__(self, stats: Optional[FastPathStats] = None) -> None:
-        self._memo: Dict[Tuple, List[MatchSegment]] = {}
-        self._cost: Dict[Tuple, float] = {}
+    def __init__(self, stats: Optional[FastPathStats] = None,
+                 shared: Optional[CrossSnapshotMatchCache] = None) -> None:
+        # key -> (region-relative segment triples, matcher seconds).
+        self._memo: Dict[Tuple, Tuple[Tuple[Tuple[int, int, int], ...],
+                                      float]] = {}
+        self._p_fps: Optional[RegionFingerprints] = None
+        self._q_fps: Optional[RegionFingerprints] = None
+        self.shared = shared
         self.stats = stats if stats is not None else FastPathStats()
+        # config_key() walks CONFIG_ATTRS with getattr; matchers are
+        # immutable after construction, so one computation per matcher
+        # identity suffices (match_many runs thousands of times per
+        # snapshot against the same few instances).
+        self._last_matcher: Optional[Matcher] = None
+        self._last_config: Tuple = ()
 
     def __len__(self) -> int:
         return len(self._memo)
+
+    def _p_fingerprint(self, p_text: str, region: Interval) -> str:
+        if self._p_fps is None or self._p_fps.text is not p_text:
+            self._p_fps = RegionFingerprints(p_text)
+        return self._p_fps.get(region.start, region.end)
+
+    def _q_fingerprint(self, q_text: str, region: Interval) -> str:
+        if self._q_fps is None or self._q_fps.text is not q_text:
+            self._q_fps = RegionFingerprints(q_text)
+        return self._q_fps.get(region.start, region.end)
+
+    @staticmethod
+    def _equal_region_segments(matcher: Matcher, length: int
+                               ) -> Optional[Tuple[Tuple[int, int, int], ...]]:
+        """What ST/UD return for two content-equal regions, in O(1).
+
+        ST's match profile over identical bodies rises by one per
+        position, leaving a single peak spanning the whole region (if
+        it clears ``min_length``); UD aligns every line and extension
+        is already region-bounded. WS gets ``None``: not eligible.
+        """
+        if matcher.name == "ST":
+            if length >= matcher.min_length:
+                return ((0, 0, length),)
+            return ()
+        if matcher.name == "UD":
+            if length > 0:
+                return ((0, 0, length),)
+            return ()
+        return None
 
     def match_many(self, matcher: Matcher, p_text: str,
                    p_region: Interval, q_text: str,
@@ -78,61 +171,125 @@ class MatchMemo:
         """
         if matcher.name not in MEMOIZABLE:
             return matcher.match_many(p_text, p_region, q_text, candidates)
-        config = matcher_config_key(matcher)
+        if self._last_matcher is not matcher:
+            self._last_config = matcher.config_key()
+            self._last_matcher = matcher
+        config = self._last_config
+        p_fp = self._p_fingerprint(p_text, p_region)
+        p_start = p_region.start
+        # Local bindings: this loop runs per input row on the fast
+        # path, where attribute loads are a measurable share of the
+        # sub-10us per-candidate budget.
+        q_fps = self._q_fps
+        if q_fps is None or q_fps.text is not q_text:
+            q_fps = RegionFingerprints(q_text)
+            self._q_fps = q_fps
+        q_fingerprint = q_fps.get
+        stats = self.stats
+        memo = self._memo
+        shared = self.shared
         out: List[MatchSegment] = []
         for itid, q_region in candidates.items():
-            key = (config, p_region.start, p_region.end,
-                   q_region.start, q_region.end)
-            segments = self._memo.get(key)
-            if segments is None:
-                start = time.perf_counter()
-                segments = matcher.match(p_text, p_region, q_text, q_region)
-                self._cost[key] = time.perf_counter() - start
-                self._memo[key] = segments
-                self.stats.memo_misses += 1
+            q_fp = q_fingerprint(q_region.start, q_region.end)
+            if p_fp == q_fp:
+                shortcut = self._equal_region_segments(
+                    matcher, p_region.end - p_start)
+                if shortcut is not None:
+                    stats.region_short_circuits += 1
+                    segments = _rebase(shortcut, p_start,
+                                       q_region.start, itid)
+                    if _inv.ENABLED:
+                        _inv.check_memo_replay(segments, p_text, q_text,
+                                               p_region, q_region)
+                    out.extend(segments)
+                    continue
+            key = (config, p_fp, q_fp)
+            entry = memo.get(key)
+            replayed = True
+            if entry is None and shared is not None:
+                entry = shared.get(key)
+                if entry is not None:
+                    stats.cache_hits += 1
+                    memo[key] = entry  # adopt for siblings
+            elif entry is not None:
+                stats.memo_hits += 1
                 if _otrace.ENABLED:  # annotate the enclosing page span
-                    _otrace.annotate("memo_misses")
-            else:
-                self.stats.memo_hits += 1
-                self.stats.memo_seconds_saved += self._cost.get(key, 0.0)
-                if _otrace.ENABLED:
                     _otrace.annotate("memo_hits")
+            if entry is None:
+                replayed = False
+                if shared is not None:
+                    stats.cache_misses += 1
+                start = time.perf_counter()
+                found = matcher.match(p_text, p_region, q_text, q_region)
+                cost = time.perf_counter() - start
+                rel = tuple((seg.p_start - p_start,
+                             seg.q_start - q_region.start, seg.length)
+                            for seg in found)
+                entry = (rel, cost)
+                memo[key] = entry
+                if shared is not None:
+                    stats.cache_evictions += shared.put(key, rel, cost)
+                stats.memo_misses += 1
+                if _otrace.ENABLED:
+                    _otrace.annotate("memo_misses")
+            segments = _rebase(entry[0], p_start, q_region.start, itid)
+            if replayed:
+                stats.memo_seconds_saved += entry[1]
                 if _inv.ENABLED:
-                    # Memo-hit retag soundness: the replayed segments
-                    # must still witness text equality inside both
-                    # regions of *this* call (--check layer).
+                    # Replay soundness: rebased segments must still
+                    # witness text equality inside *this* call's
+                    # regions (--check layer; also flags fingerprint
+                    # collisions).
                     _inv.check_memo_replay(segments, p_text, q_text,
                                            p_region, q_region)
-            for seg in segments:
-                out.append(replace(seg, q_itid=itid))
+            out.extend(segments)
         return out
 
 
 class AutomatonCache:
-    """Per-page-pair cache of ST suffix automata, keyed by q-region.
+    """Per-page-pair cache of ST suffix automata, keyed by the
+    q-region's content fingerprint.
 
-    Within one page pair the q text is fixed, so the region bounds
-    fully determine the automaton; the stored q-body is verified on
-    every hit anyway (one memcmp — cheap insurance against misuse
-    across page pairs, and far cheaper than rebuilding).
+    A hit costs one memoized-fingerprint lookup plus a dict probe — no
+    body copy, no memcmp (the bounds-keyed predecessor copied the full
+    region text on *every* call to verify it; ``automata_bytes_copied``
+    counts build-path copies only, proving hits stay O(1)). Content
+    keying also lets equal-content regions at different bounds share
+    one automaton.
     """
 
     def __init__(self, stats: Optional[FastPathStats] = None) -> None:
-        self._cache: Dict[Tuple[int, int], Tuple[str, SuffixAutomaton]] = {}
+        self._cache: Dict[str, SuffixAutomaton] = {}
+        self._fps: Optional[RegionFingerprints] = None
         self.stats = stats if stats is not None else FastPathStats()
 
     def __len__(self) -> int:
         return len(self._cache)
 
+    def _fingerprint(self, q_text: str, q_region: Interval) -> str:
+        if self._fps is None or self._fps.text is not q_text:
+            self._fps = RegionFingerprints(q_text)
+        return self._fps.get(q_region.start, q_region.end)
+
+    def peek(self, q_text: str,
+             q_region: Interval) -> Optional[SuffixAutomaton]:
+        """The cached automaton, or None — never builds, never counts.
+
+        The ST kernel path uses this to prefer an existing automaton
+        over re-anchoring; stat accounting stays with :meth:`get`.
+        """
+        return self._cache.get(self._fingerprint(q_text, q_region))
+
     def get(self, q_text: str, q_region: Interval) -> SuffixAutomaton:
         """The suffix automaton of ``q_text[q_region]``, cached."""
-        key = (q_region.start, q_region.end)
-        body = q_text[q_region.start:q_region.end]
-        entry = self._cache.get(key)
-        if entry is not None and entry[0] == body:
+        fingerprint = self._fingerprint(q_text, q_region)
+        sam = self._cache.get(fingerprint)
+        if sam is not None:
             self.stats.automata_reused += 1
-            return entry[1]
+            return sam
+        body = q_text[q_region.start:q_region.end]
+        self.stats.automata_bytes_copied += len(body)
         sam = SuffixAutomaton(body)
-        self._cache[key] = (body, sam)
+        self._cache[fingerprint] = sam
         self.stats.automata_built += 1
         return sam

@@ -33,9 +33,22 @@ class FastPathStats:
     #: matcher seconds not spent thanks to memo hits (measured at the
     #: miss that populated each entry).
     memo_seconds_saved: float = 0.0
+    #: fingerprint-equal region pairs answered in O(1) by the memo's
+    #: equal-region shortcut (no matcher ran, no cache entry needed).
+    region_short_circuits: int = 0
+    #: cross-snapshot match-cache hits / misses (misses are a subset of
+    #: memo_misses: every shared-cache miss also runs the matcher).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: entries the cross-snapshot cache evicted while this run inserted.
+    cache_evictions: int = 0
     #: suffix automata built vs reused from the per-page-pair cache.
     automata_built: int = 0
     automata_reused: int = 0
+    #: q-region bytes copied to build automata. Builds are the only
+    #: automaton path that copies text — cache hits are fingerprint
+    #: compares — so this staying flat across hits is the proof.
+    automata_bytes_copied: int = 0
     #: O(1) group seeks served by the reuse-file offset index.
     reader_index_seeks: int = 0
 
@@ -48,14 +61,29 @@ class FastPathStats:
         self.memo_hits += other.memo_hits
         self.memo_misses += other.memo_misses
         self.memo_seconds_saved += other.memo_seconds_saved
+        self.region_short_circuits += other.region_short_circuits
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         self.automata_built += other.automata_built
         self.automata_reused += other.automata_reused
+        self.automata_bytes_copied += other.automata_bytes_copied
         self.reader_index_seeks += other.reader_index_seeks
 
     @property
     def memo_hit_rate(self) -> float:
         """Hits over total memo lookups; 0.0 when nothing was looked up."""
         return safe_rate(self.memo_hits, self.memo_hits + self.memo_misses)
+
+    @property
+    def combined_hit_rate(self) -> float:
+        """Fraction of matcher-level lookups answered without running a
+        matcher: memo hits, cross-snapshot cache hits, and equal-region
+        shortcuts over all lookups (memo_misses counts exactly the
+        lookups that did run a matcher)."""
+        hits = (self.memo_hits + self.cache_hits
+                + self.region_short_circuits)
+        return safe_rate(hits, hits + self.memo_misses)
 
     @property
     def unchanged_fraction(self) -> float:
@@ -73,8 +101,14 @@ class FastPathStats:
             "memo_misses": self.memo_misses,
             "memo_hit_rate": self.memo_hit_rate,
             "memo_seconds_saved": self.memo_seconds_saved,
+            "region_short_circuits": self.region_short_circuits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "combined_hit_rate": self.combined_hit_rate,
             "automata_built": self.automata_built,
             "automata_reused": self.automata_reused,
+            "automata_bytes_copied": self.automata_bytes_copied,
             "reader_index_seeks": self.reader_index_seeks,
         }
 
@@ -87,6 +121,9 @@ class FastPathStats:
                 f"{self.tuples_recycled} tuples, avoided "
                 f"{self.matcher_calls_avoided} matcher calls; memo "
                 f"{self.memo_hits}h/{self.memo_misses}m "
-                f"({self.memo_seconds_saved:.3f}s saved); automata "
+                f"({self.memo_seconds_saved:.3f}s saved); xsnap cache "
+                f"{self.cache_hits}h/{self.cache_misses}m "
+                f"(+{self.region_short_circuits} region hits, "
+                f"combined {self.combined_hit_rate:.0%}); automata "
                 f"{self.automata_reused} reused/{self.automata_built} "
                 f"built; {self.reader_index_seeks} indexed seeks")

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..obs import trace as _otrace
 from ..text.regions import MatchSegment
@@ -32,6 +32,29 @@ class Matcher(ABC):
     """Finds overlapping regions between two page regions."""
 
     name: str = "?"
+
+    #: Constructor attributes that change what :meth:`match` returns.
+    #: Every such attribute MUST be listed here: the memo and the
+    #: cross-snapshot match cache key results by :meth:`config_key`, so
+    #: an unlisted attribute would let two differently-configured
+    #: matchers share cached results. ``tests/test_matchcore.py`` fails
+    #: if an instance grows an attribute in neither tuple.
+    CONFIG_ATTRS: Tuple[str, ...] = ()
+
+    #: Attributes that only affect *how* results are computed (caches,
+    #: kernel toggles, interning state) — excluded from the key because
+    #: both paths are parity-pinned to identical output.
+    STATE_ATTRS: Tuple[str, ...] = ()
+
+    def config_key(self) -> tuple:
+        """A hashable key identifying this matcher's result behaviour.
+
+        Two matcher instances with equal keys must return identical
+        segments for identical inputs — that is the contract the memo
+        and cross-snapshot cache rely on.
+        """
+        return (self.name,) + tuple(
+            getattr(self, attr) for attr in self.CONFIG_ATTRS)
 
     @abstractmethod
     def match(self, p_text: str, p_region: Interval,

@@ -407,7 +407,9 @@ def publish_fastpath(system: str, stats) -> None:
         labels=("system", "kind"))
     for kind in ("pages_paired", "pages_short_circuited",
                  "tuples_recycled", "matcher_calls_avoided", "memo_hits",
-                 "memo_misses", "automata_built", "automata_reused",
+                 "memo_misses", "region_short_circuits", "cache_hits",
+                 "cache_misses", "cache_evictions", "automata_built",
+                 "automata_reused", "automata_bytes_copied",
                  "reader_index_seeks"):
         fp.labels(system=system, kind=kind).inc(
             float(getattr(stats, kind, 0) or 0))
@@ -418,3 +420,28 @@ def publish_fastpath(system: str, stats) -> None:
     REGISTRY.set("repro_fastpath_memo_hit_rate", stats.memo_hit_rate,
                  help="memo hits / (hits + misses) of the latest run",
                  system=system)
+    REGISTRY.set("repro_fastpath_combined_hit_rate",
+                 getattr(stats, "combined_hit_rate", 0.0),
+                 help="(memo + cross-snapshot cache + equal-region) hits"
+                      " over all matcher-level lookups, latest run",
+                 system=system)
+
+
+def publish_matchcache(owner: str, cache) -> None:
+    """Fold a ``CrossSnapshotMatchCache``'s counters in.
+
+    ``owner`` labels who carries the cache across snapshots (a system
+    name, or ``view:<name>`` for serve views). Lifetime totals are
+    exported as gauges set from the cache's own monotone counters, so
+    re-publishing after every snapshot/apply is idempotent.
+    """
+    counters = cache.counters()
+    labels = {"owner": owner}
+    REGISTRY.set("repro_matchcache_entries", counters["entries"],
+                 help="entries currently held", **labels)
+    REGISTRY.set("repro_matchcache_bytes", counters["bytes"],
+                 help="estimated bytes currently retained", **labels)
+    for kind in ("hits", "misses", "inserts", "evictions"):
+        REGISTRY.set(f"repro_matchcache_{kind}_total", counters[kind],
+                     help=f"lifetime {kind} of the cross-snapshot match "
+                          "cache", **labels)

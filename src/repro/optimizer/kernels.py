@@ -1,0 +1,58 @@
+"""Cost model choosing vectorized kernel vs pure-Python matcher path.
+
+The vectorized kernels (:mod:`repro.matchers.st` / ``ud`` / ``ws``)
+amortize a fixed per-call setup (array interning, hash tables, sort)
+against a much lower per-character cost, so they lose on small regions
+and win on large ones. This model carries the measured per-unit costs
+and answers "which path is cheaper for *this* region size?" — the same
+shape of decision the plan optimizer makes at the unit level, pushed
+down to the matcher inner loop.
+
+Constants were fit on the DBLife-style bench corpus
+(``benchmarks/test_matcher_kernels.py`` re-measures them); they only
+steer *performance*, never results — both paths are parity-pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Linear cost curves (nanoseconds) for kernel vs fallback paths."""
+
+    # ST: suffix-automaton build+probe vs k-gram anchor kernel, per
+    # combined character (len(p_region) + len(q_region)).
+    st_fallback_ns_per_char: float = 590.0
+    st_kernel_ns_per_char: float = 190.0
+    st_kernel_overhead_ns: float = 75_000.0
+
+    # UD: Myers diff over interned int lines needs enough lines to pay
+    # for the interning pass.
+    ud_min_lines: int = 192
+
+    # WS: vectorized winnowing (crc table + window minima) per combined
+    # UTF-8 byte.
+    ws_fallback_ns_per_byte: float = 1350.0
+    ws_kernel_ns_per_byte: float = 260.0
+    ws_kernel_overhead_ns: float = 90_000.0
+
+    def use_st_kernel(self, p_chars: int, q_chars: int) -> bool:
+        total = p_chars + q_chars
+        fallback = total * self.st_fallback_ns_per_char
+        kernel = self.st_kernel_overhead_ns + total * self.st_kernel_ns_per_char
+        return kernel < fallback
+
+    def use_ud_kernel(self, p_lines: int, q_lines: int) -> bool:
+        return p_lines + q_lines >= self.ud_min_lines
+
+    def use_ws_kernel(self, n_bytes: int) -> bool:
+        fallback = n_bytes * self.ws_fallback_ns_per_byte
+        kernel = self.ws_kernel_overhead_ns + n_bytes * self.ws_kernel_ns_per_byte
+        return kernel < fallback
+
+
+#: Shared instance the matchers consult (lazily, to dodge the
+#: optimizer -> cost -> engine -> matchers import cycle).
+DEFAULT_KERNEL_MODEL = KernelCostModel()

@@ -38,8 +38,11 @@ from ..check import invariants as _inv
 from ..corpus.snapshot import Snapshot
 from ..fastpath.config import FastPathConfig
 from ..fastpath.fingerprint import pages_identical
+from ..fastpath.matchcache import CrossSnapshotMatchCache
 from ..fastpath.memo import AutomatonCache, MatchMemo
 from ..fastpath.stats import FastPathStats
+from ..text import tokens as _tokens_mod
+from ..text.tokens import TokenCache
 from ..matchers.base import DN_NAME, RU_NAME, ST_NAME, UD_NAME, MatchCache
 from ..matchers.registry import make_matcher
 from ..matchers.ws import WS_NAME
@@ -195,6 +198,10 @@ class PageEvaluator:
         self.units = units
         self.assignment = assignment
         self.fastpath = FastPathConfig.from_flag(fastpath)
+        # Cross-snapshot match cache, attached by the owning engine (or
+        # per worker); deliberately not pickled — process workers get a
+        # fresh per-worker cache, thread workers share the engine's.
+        self.match_cache: Optional[CrossSnapshotMatchCache] = None
         self._unit_of_top = units_by_top(units)
         self._identity_safe = self._compute_identity_safe()
 
@@ -220,6 +227,7 @@ class PageEvaluator:
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.__dict__.update(state)
+        self.match_cache = None
         self._unit_of_top = units_by_top(self.units)  # type: ignore[arg-type]
         self._identity_safe = self._compute_identity_safe()
 
@@ -245,13 +253,19 @@ class PageEvaluator:
         fast = self.fastpath
         match_memo: Optional[MatchMemo] = None
         automatons: Optional[AutomatonCache] = None
+        tokens: Optional[TokenCache] = None
+        kernel = "auto" if fast.want("kernels") else "off"
         page_identical = False
         if q_page is not None:
             fp_stats.pages_paired += 1
             if fast.want("match_memo"):
-                match_memo = MatchMemo(fp_stats)
+                shared = (self.match_cache
+                          if fast.want("match_cache") else None)
+                match_memo = MatchMemo(fp_stats, shared=shared)
             if fast.want("automaton_cache"):
                 automatons = AutomatonCache(fp_stats)
+            if fast.want("kernels") and _tokens_mod.numpy_enabled():
+                tokens = TokenCache()
             if (fast.want("unchanged_page") and self._identity_safe
                     and prev_capture and pages_identical(page, q_page)):
                 page_identical = True
@@ -275,6 +289,7 @@ class PageEvaluator:
                                       cache, stats[unit.uid], timer,
                                       match_memo=match_memo,
                                       automatons=automatons,
+                                      tokens=tokens, kernel=kernel,
                                       page_identical=page_identical,
                                       fp_stats=fp_stats)
             elif isinstance(node, ScanNode):
@@ -314,6 +329,8 @@ class PageEvaluator:
                   timer: Timer,
                   match_memo: Optional[MatchMemo] = None,
                   automatons: Optional[AutomatonCache] = None,
+                  tokens: Optional[TokenCache] = None,
+                  kernel: str = "auto",
                   page_identical: bool = False,
                   fp_stats: Optional[FastPathStats] = None
                   ) -> List[TupleRow]:
@@ -335,7 +352,8 @@ class PageEvaluator:
         # full-region matches of short regions, hence the cap.
         min_length = max(8, min(2 * unit.beta + 2, 32))
         matcher = make_matcher(matcher_name, cache, min_length=min_length,
-                               automatons=automatons)
+                               automatons=automatons, tokens=tokens,
+                               kernel=kernel)
 
         out_rows: List[TupleRow] = []
         for row in input_rows:
@@ -369,9 +387,11 @@ class PageEvaluator:
                     # regions, ``extensions = copied`` untouched).
                     # Mirror the slow path's counters so the optimizer
                     # statistics are identical either way.
+                    # Counter mirror only — no timer block for a bare
+                    # increment; its ~0s would cost more to attribute
+                    # than it measures.
                     n_cand = sum(1 for pi in prev_inputs if pi.c == c)
-                    with timer.measure(MATCH):
-                        unit_stats.matcher_calls += n_cand
+                    unit_stats.matcher_calls += n_cand
                     if fp_stats is not None:
                         fp_stats.matcher_calls_avoided += n_cand
                     with timer.measure(COPY):
@@ -541,6 +561,15 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
     the worker's timing parts, and its fast-path counters.
     """
     pairs, prev_slices = payload
+    # Process workers arrive with match_cache dropped by the pickle
+    # whitelist: give each worker its own cross-snapshot cache (hits
+    # accumulate across the batches a worker processes; counters merge
+    # through fp_stats). Thread workers share the engine's evaluator,
+    # whose cache is already attached and thread-safe.
+    if (getattr(evaluator, "match_cache", None) is None
+            and evaluator.fastpath.want("match_cache")
+            and evaluator.fastpath.want("match_memo")):
+        evaluator.match_cache = CrossSnapshotMatchCache()
     timings = Timings()
     timer = Timer(timings)
     uids = evaluator.uids()
@@ -582,7 +611,9 @@ class ReuseEngine:
                  scope: Optional[PageMatchScope] = None,
                  executor: Optional[Executor] = None,
                  scheduler: Optional[PageScheduler] = None,
-                 fastpath: Optional[FastPathConfig] = None) -> None:
+                 fastpath: Optional[FastPathConfig] = None,
+                 match_cache: Optional[CrossSnapshotMatchCache] = None
+                 ) -> None:
         self.plan = plan
         self.units = units
         self.assignment = assignment
@@ -590,8 +621,17 @@ class ReuseEngine:
         self.executor = executor
         self.scheduler = scheduler if scheduler is not None else PageScheduler()
         self.fastpath = FastPathConfig.from_flag(fastpath)
+        # The cross-snapshot match cache outlives this engine: callers
+        # that rebuild an engine per snapshot (DelexSystem, serve
+        # views) pass their own so content-keyed match results carry
+        # across the whole series.
+        self.match_cache = match_cache
+        if (self.match_cache is None and self.fastpath.want("match_cache")
+                and self.fastpath.want("match_memo")):
+            self.match_cache = CrossSnapshotMatchCache()
         self.evaluator = PageEvaluator(plan, units, assignment,
                                        fastpath=self.fastpath)
+        self.evaluator.match_cache = self.match_cache
         missing = [u.uid for u in units if u.uid not in assignment.matchers]
         if missing:
             raise ValueError(f"assignment missing units {missing}")

@@ -13,7 +13,7 @@ from typing import Iterable, List, Optional
 from .span import Interval
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MatchSegment:
     """Equal text: ``p[p_start : p_start+length] == q[q_start : q_start+length]``.
 

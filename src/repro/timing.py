@@ -127,30 +127,68 @@ class Timings:
         return out
 
 
+class _NoopMeasure:
+    """Returned for nested measures; attributes nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_MEASURE = _NoopMeasure()
+
+
+class _Measure:
+    """Hand-rolled measuring context: the engine opens one of these
+    per input row per category, so the ~2.5us a ``@contextmanager``
+    generator costs per block was showing up as phantom matcher time
+    on fast-path runs whose real per-row work is sub-microsecond."""
+
+    __slots__ = ("_timer", "category", "_start")
+
+    def __init__(self, timer: "Timer") -> None:
+        self._timer = timer
+        self.category = ""
+        self._start = 0.0
+
+    def __enter__(self) -> None:
+        self._timer._active = True
+        self._start = time.perf_counter()
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        timer = self._timer
+        timer.timings.add(self.category, time.perf_counter() - self._start)
+        timer._active = False
+        return False
+
+
 class Timer:
     """Accumulates time into a :class:`Timings` object.
 
     The ``measure`` context manager is reentrancy-guarded: while one
     category is being measured, nested measures are ignored so no
-    second of wall-clock is attributed twice.
+    second of wall-clock is attributed twice. The returned context
+    object is reused across calls (enter it immediately, ``with
+    timer.measure(...)``-style; holding several un-entered measures
+    from one timer is not supported).
     """
 
     def __init__(self, timings: Timings) -> None:
         self.timings = timings
         self._active = False
+        self._measure = _Measure(self)
 
-    @contextmanager
-    def measure(self, category: str) -> Iterator[None]:
+    def measure(self, category: str) -> "_Measure | _NoopMeasure":
         if self._active:
-            yield
-            return
-        self._active = True
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.timings.add(category, time.perf_counter() - start)
-            self._active = False
+            return _NOOP_MEASURE
+        m = self._measure
+        m.category = category
+        return m
 
     @contextmanager
     def measure_total(self) -> Iterator[None]:
