@@ -265,21 +265,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     own_workdir = args.workdir is None
     workdir = args.workdir or tempfile.mkdtemp(prefix="repro_serve_")
-    registry = ViewRegistry(os.path.join(workdir, "views"))
-    for name in task_names:
-        registry.register(ViewConfig(
-            name=name, task=name, system=args.system,
-            fastpath=args.fastpath, jobs=args.jobs,
-            backend=args.backend, work_scale=args.work_scale))
-    ingest_queue = IngestQueue(maxsize=args.queue_size)
+    configs = [ViewConfig(
+        name=name, task=name, system=args.system,
+        fastpath=args.fastpath, jobs=args.jobs,
+        backend=args.backend, work_scale=args.work_scale)
+        for name in task_names]
     snapshot_store = (CorpusStore(os.path.join(workdir, "corpus"))
                       if args.persist else None)
-    loop = IngestLoop(registry, ingest_queue,
-                      check=args.check == "on",
-                      snapshot_store=snapshot_store)
-    watcher = (SpoolWatcher(args.spool, ingest_queue)
-               if args.spool else None)
-    app = ServeApp(registry, ingest_queue, loop, watcher=watcher)
+    if args.shards > 1:
+        from .shard import ShardedDeployment
+
+        deployment = ShardedDeployment(
+            os.path.join(workdir, "shards"), configs,
+            n_shards=args.shards, n_replicas=args.replicas,
+            max_staleness=args.max_staleness,
+            check=args.check == "on", capacity=args.queue_size,
+            snapshot_store=snapshot_store)
+        registry = deployment.workers[0].registry
+        ingest_queue = deployment  # duck-typed front door
+        loop = deployment
+        watcher = (SpoolWatcher(args.spool, deployment)
+                   if args.spool else None)
+        app = ServeApp(registry, ingest_queue, loop, watcher=watcher,
+                       sharded=deployment)
+    else:
+        registry = ViewRegistry(os.path.join(workdir, "views"))
+        for config in configs:
+            registry.register(config)
+        ingest_queue = IngestQueue(maxsize=args.queue_size)
+        loop = IngestLoop(registry, ingest_queue,
+                          check=args.check == "on",
+                          snapshot_store=snapshot_store)
+        watcher = (SpoolWatcher(args.spool, ingest_queue)
+                   if args.spool else None)
+        app = ServeApp(registry, ingest_queue, loop, watcher=watcher)
     app.start()
 
     # Bootstrap snapshots: an existing corpus store, or the demo corpus.
@@ -304,8 +323,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     server = build_server(app, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    tier = (f" across {args.shards} shard(s)"
+            + (f" x {args.replicas} replica(s)" if args.replicas else "")
+            if args.shards > 1 else "")
     print(f"serving {len(task_names)} view(s) "
-          f"({', '.join(task_names)}) on http://{host}:{port}")
+          f"({', '.join(task_names)}){tier} on http://{host}:{port}")
     print("  try:")
     print(f"    curl 'http://{host}:{port}/views'")
     print(f"    curl 'http://{host}:{port}/query?view={task_names[0]}"
@@ -578,6 +600,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-size", type=int, default=8,
                        help="ingest queue bound (backpressure beyond "
                             "this; default 8)")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="partition the store across N in-process "
+                            "shard workers behind a scatter-gather "
+                            "router with consistent generation "
+                            "vectors (default 1 = classic single "
+                            "apply loop)")
+    serve.add_argument("--replicas", type=int, default=0, metavar="R",
+                       help="read replicas per shard (sharded mode "
+                            "only; default 0)")
+    serve.add_argument("--max-staleness", type=int, default=0,
+                       metavar="K",
+                       help="route reads to a replica only if it is "
+                            "at most K snapshots behind its shard "
+                            "primary (default 0)")
     serve.add_argument("--persist", action="store_true",
                        help="persist applied snapshots to "
                             "<workdir>/corpus")

@@ -27,10 +27,21 @@ Four layers, composed bottom-up:
   (``/query``, ``/ingest``, ``/views``, ``/healthz``, ``/metrics``)
   plus the ``python -m repro serve`` wiring.
 
+Scaling past one apply loop lives in :mod:`repro.shard`: the same
+store/view/ingest machinery partitioned across N in-process shard
+workers behind a scatter-gather router with consistent generation
+vectors (``repro serve --shards N``).
+
 Everything is stdlib-only, like the rest of the repo.
 """
 
-from .ingest import IngestLoop, IngestQueue, SpoolWatcher, drop_snapshot
+from .ingest import (
+    IngestLoop,
+    IngestQueue,
+    SpoolWatcher,
+    drop_snapshot,
+    lag_series,
+)
 from .server import ExtractionServer, ServeApp, build_server, serve_in_thread
 from .store import Generation, QueryResult, TupleStore, tuple_to_json
 from .views import (
@@ -53,6 +64,7 @@ __all__ = [
     "IngestLoop",
     "SpoolWatcher",
     "drop_snapshot",
+    "lag_series",
     "ServeApp",
     "ExtractionServer",
     "build_server",

@@ -31,7 +31,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
 
 from ..corpus.snapshot import Snapshot, read_snapshot, write_snapshot
 from ..corpus.store import CorpusStore, _SNAPSHOT_RE
@@ -41,6 +41,39 @@ from .views import ViewRegistry
 #: How many recent per-snapshot lag records the loop keeps for
 #: ``/metrics``.
 LAG_HISTORY = 64
+
+#: ``on_applied`` callback: ``(snapshot, view_generations,
+#: enqueued_mono, skipped)`` where ``view_generations`` maps each
+#: view's name to the generation it published for this snapshot (None
+#: when that view quarantined it) and ``skipped`` marks the stale
+#: idempotent-skip path (empty outcome map). The sharded serving tier
+#: hangs its generation-vector barrier off this hook.
+AppliedCallback = Callable[
+    [Snapshot, Mapping[str, Optional[object]], Optional[float], bool],
+    None]
+
+
+def lag_series(records: Sequence[Mapping[str, object]]
+               ) -> List[float]:
+    """Ingest lag values for a run of per-snapshot records.
+
+    The first record of a serving session is the bootstrap snapshot —
+    applied inline before any producer enqueued it, so it has no
+    enqueue timestamp and its recorded lag is ``None``. For reporting
+    that must read as "zero lag", not as an undefined series start:
+    verdict logic comparing or summing lags used to trip on the
+    ``None``. Non-bootstrap records with ``None`` lag (wall-clock-only
+    producers) are skipped rather than invented.
+    """
+    lags: List[float] = []
+    for position, record in enumerate(records):
+        lag = record.get("lag_seconds")
+        if lag is None:
+            if position == 0:
+                lags.append(0.0)
+            continue
+        lags.append(float(lag))
+    return lags
 
 
 @dataclass(frozen=True)
@@ -109,7 +142,9 @@ class IngestLoop:
 
     def __init__(self, registry: ViewRegistry, ingest_queue: IngestQueue,
                  check: bool = False,
-                 snapshot_store: Optional[CorpusStore] = None) -> None:
+                 snapshot_store: Optional[CorpusStore] = None,
+                 on_applied: Optional[AppliedCallback] = None,
+                 name: str = "repro-serve-ingest") -> None:
         self.registry = registry
         self.queue = ingest_queue
         self.check = check
@@ -117,10 +152,16 @@ class IngestLoop:
         #: applied to at least one view is persisted, so a restarted
         #: server can re-bootstrap from the same corpus.
         self.snapshot_store = snapshot_store
+        #: Post-apply hook (see :data:`AppliedCallback`). Exceptions
+        #: are contained (counted in ``callback_errors``) so a broken
+        #: observer can never kill the apply thread.
+        self.on_applied = on_applied
+        self.name = name
         self.snapshots_applied = 0
         self.applies_failed = 0
         self.snapshots_quarantined = 0
         self.stop_failures = 0
+        self.callback_errors = 0
         self.last_applied_index: Optional[int] = None
         self.last_apply_at: Optional[float] = None
         self._stop = threading.Event()
@@ -138,7 +179,7 @@ class IngestLoop:
             return
         self._stop.clear()
         self._thread = threading.Thread(target=self._run,
-                                        name="repro-serve-ingest",
+                                        name=self.name,
                                         daemon=True)
         self._thread.start()
 
@@ -218,6 +259,7 @@ class IngestLoop:
                 "apply_seconds": 0.0,
                 "lag_seconds": None,
             })
+            self._notify_applied(snapshot, {}, enqueued_mono, True)
             return True
         # Durations from the monotonic clock only; time.time() is kept
         # strictly for the displayed last_apply_at timestamp. (An NTP
@@ -226,9 +268,14 @@ class IngestLoop:
         start_mono = time.monotonic()
         all_ok = True
         lags: List[float] = []
+        outcomes: Dict[str, Optional[object]] = {}
         for view in self.registry.views():
             ok = self._apply_with_retry(view, snapshot, enqueued_mono)
             all_ok = all_ok and ok
+            generation = view.generation
+            outcomes[view.config.name] = (
+                generation if ok and generation is not None
+                and generation.snapshot_index == snapshot.index else None)
             if ok and view.history:
                 lag = view.history[-1].lag_seconds
                 if lag is not None:
@@ -268,7 +315,19 @@ class IngestLoop:
                 self.snapshot_store.append(snapshot)
             except (ValueError, OSError):
                 pass  # persistence is best-effort, serving is the job
+        self._notify_applied(snapshot, outcomes, enqueued_mono, False)
         return all_ok
+
+    def _notify_applied(self, snapshot: Snapshot,
+                        outcomes: Mapping[str, Optional[object]],
+                        enqueued_mono: Optional[float],
+                        skipped: bool) -> None:
+        if self.on_applied is None:
+            return
+        try:
+            self.on_applied(snapshot, outcomes, enqueued_mono, skipped)
+        except Exception:  # noqa: BLE001 - observer isolation
+            self.callback_errors += 1
 
     def _apply_with_retry(self, view, snapshot: Snapshot,
                           enqueued_mono: Optional[float]) -> bool:
@@ -301,6 +360,7 @@ class IngestLoop:
             "snapshots_quarantined": self.snapshots_quarantined,
             "applies_failed": self.applies_failed,
             "stop_failures": self.stop_failures,
+            "callback_errors": self.callback_errors,
             "last_applied_index": self.last_applied_index,
             "last_apply_at": self.last_apply_at,
             "recent": list(self.recent),
@@ -342,6 +402,11 @@ class SpoolWatcher:
     re-ingests. Files newer than the last pushed index are the only
     candidates, so out-of-order drops wait until their predecessors
     arrive.
+
+    The watcher only needs ``push(snapshot, block=, timeout=)`` from
+    its queue, so it feeds a plain :class:`IngestQueue` or the sharded
+    front door (:class:`repro.shard.ShardedDeployment`) unchanged —
+    snapshot-shard routing happens behind that push.
 
     Producers should write through :func:`drop_snapshot` (tmp file +
     ``os.replace``); ``*.tmp``/``*.part`` names are ignored by the

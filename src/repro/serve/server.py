@@ -54,15 +54,27 @@ Payload = Tuple[int, Dict[str, object]]
 
 
 class ServeApp:
-    """Everything one serving deployment holds, HTTP-free."""
+    """Everything one serving deployment holds, HTTP-free.
 
-    def __init__(self, registry: ViewRegistry, ingest_queue: IngestQueue,
-                 loop: IngestLoop,
-                 watcher: Optional[SpoolWatcher] = None) -> None:
+    Two shapes, same API surface: classic single-shard (``registry`` +
+    ``ingest_queue`` + ``loop``) or sharded (pass a
+    :class:`repro.shard.ShardedDeployment` as ``sharded`` — it
+    duck-types both the queue and the loop, so ``queue``/``loop`` may
+    simply be the deployment itself). In sharded mode ``/query`` is
+    answered by the scatter-gather router under a consistent
+    generation vector, and ``/healthz``/``/metrics`` gain per-shard
+    status.
+    """
+
+    def __init__(self, registry: ViewRegistry, ingest_queue,
+                 loop, watcher: Optional[SpoolWatcher] = None,
+                 sharded=None) -> None:
         self.registry = registry
         self.queue = ingest_queue
         self.loop = loop
         self.watcher = watcher
+        #: The sharded deployment, when this app fronts one.
+        self.sharded = sharded
         #: Wall-clock start timestamp — display only.
         self.started_at = time.time()
         #: Monotonic start timestamp — uptime is derived from this so
@@ -136,9 +148,18 @@ class ServeApp:
         field_filters = {key[2:]: value for key, value in params.items()
                          if key.startswith("f.") and len(key) > 2}
         try:
-            result = view.query(relation, offset=offset, limit=limit,
-                                contains=params.get("contains"),
-                                field_filters=field_filters or None)
+            if self.sharded is not None:
+                # Scatter-gather read under the consistent generation
+                # vector; 503 before the first vector (same contract
+                # as an empty single-shard view).
+                result = self.sharded.router.query(
+                    view_name, relation, offset=offset, limit=limit,
+                    contains=params.get("contains"),
+                    field_filters=field_filters or None)
+            else:
+                result = view.query(relation, offset=offset, limit=limit,
+                                    contains=params.get("contains"),
+                                    field_filters=field_filters or None)
         except UnknownRelationError:
             return 404, {"error": f"view {view_name!r} has no relation "
                                   f"{relation!r}",
@@ -163,15 +184,32 @@ class ServeApp:
                                   '"text"}, ...]} — ' + str(exc)}
         if not self.queue.push(snapshot, block=False):
             return 429, {"error": "ingest queue full — backpressure",
-                         "queue": self.queue.describe()}
+                         "queue": self._queue_status()}
         return 202, {"queued": True, "index": index,
                      "pages": len(snapshot),
-                     "queue": self.queue.describe()}
+                     "queue": self._queue_status()}
+
+    def _queue_status(self) -> Dict[str, object]:
+        """The front door's queue stats, whatever shape fronts it."""
+        if self.sharded is not None:
+            return self.sharded.describe_queue()
+        return self.queue.describe()
 
     def handle_views(self) -> Payload:
-        return 200, {"views": self.registry.describe()}
+        doc: Dict[str, object] = {"views": self.registry.describe()}
+        if self.sharded is not None:
+            # In sharded mode the registry block is shard 0's slice;
+            # the authoritative cross-shard state is the vector.
+            doc["vectors"] = {
+                name: (vector.describe()
+                       if (vector := self.sharded.router.vector(name))
+                       is not None else None)
+                for name in self.sharded.router.names()}
+        return 200, doc
 
     def handle_healthz(self) -> Payload:
+        if self.sharded is not None:
+            return self._handle_healthz_sharded()
         views = {
             view.config.name: {
                 "healthy": view.healthy,
@@ -195,6 +233,35 @@ class ServeApp:
                                       "reasons": reasons,
                                       "views": views}
 
+    def _handle_healthz_sharded(self) -> Payload:
+        """Sharded health: per-shard loops + the router's barrier view.
+
+        Degraded (503) when a shard loop is dead, a shard lags the
+        barrier, or any view quarantined a sub-snapshot — but queries
+        keep serving the last consistent vector throughout, so
+        "degraded" never means "torn".
+        """
+        doc = self.sharded.healthz()
+        reasons = []
+        for shard in doc["shards"]:
+            if not shard["loop_running"]:
+                reasons.append(f"shard {shard['shard']} ingest loop "
+                               "not running")
+        for name, info in doc["views"].items():
+            if info["lagging_shards"]:
+                reasons.append(
+                    f"view {name!r} lagging on shard(s) "
+                    f"{info['lagging_shards']} — serving last "
+                    "consistent vector")
+            if info["quarantined"]:
+                reasons.append(f"view {name!r} has "
+                               f"{info['quarantined']} quarantined "
+                               "sub-snapshot(s)")
+        ok = bool(doc["ok"])
+        doc["status"] = "ok" if ok else "degraded"
+        doc["reasons"] = reasons
+        return (200 if ok else 503), doc
+
     def handle_metrics(self) -> Payload:
         views = {}
         for view in self.registry.views():
@@ -209,7 +276,7 @@ class ServeApp:
                 "last_apply": last.to_dict() if last is not None else None,
                 "applies": [record.to_dict() for record in view.history],
             }
-        return 200, {
+        doc: Dict[str, object] = {
             "uptime_seconds": self.uptime_seconds,
             "started_at": self.started_at,
             "queries_served": self.queries_served,
@@ -220,6 +287,18 @@ class ServeApp:
                       if self.watcher is not None else None),
             "views": views,
         }
+        if self.sharded is not None:
+            # Per-shard loops/queues, the router's barrier state, and
+            # per-view publish (vector) history; the "views" block
+            # above describes shard 0's slice of each view.
+            doc["shard"] = {
+                "router": self.sharded.router.describe(),
+                "front": self.sharded.describe_queue(),
+                "publishes": {
+                    name: self.sharded.router.publishes(name)
+                    for name in self.sharded.router.names()},
+            }
+        return 200, doc
 
     def sync_registry(self) -> None:
         """Refresh point-in-time serve gauges in the metrics registry.
@@ -235,7 +314,6 @@ class ServeApp:
                 help="lifetime query rate")
         reg.set("repro_ingest_queue_depth", float(self.queue.depth),
                 help="snapshots waiting in the ingest queue")
-        counts = self.loop.describe()
         reg.set("repro_ingest_loop_running",
                 1.0 if self.loop.running else 0.0,
                 help="1 when the single-writer apply loop is alive")
@@ -243,8 +321,13 @@ class ServeApp:
                 help="queries answered since start")
         reg.set("repro_serve_ingest_requests", float(self.ingest_requests),
                 help="POST /ingest requests since start")
-        reg.set("repro_ingest_applies_failed",
-                float(counts["applies_failed"]),
+        if self.sharded is not None:
+            self.sharded.sync_registry()
+            failed = sum(w.loop.applies_failed
+                         for w in self.sharded.workers)
+        else:
+            failed = self.loop.applies_failed
+        reg.set("repro_ingest_applies_failed", float(failed),
                 help="per-view apply attempts that raised")
         for view in self.registry.views():
             reg.set("repro_view_healthy", 1.0 if view.healthy else 0.0,

@@ -26,10 +26,11 @@ coordination.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 
 def _sort_key(tup: tuple) -> str:
@@ -85,6 +86,114 @@ def _field_value(tup: tuple, var: str) -> Optional[str]:
     return None
 
 
+def filter_rows(rows: Sequence[tuple],
+                contains: Optional[str] = None,
+                field_filters: Optional[Mapping[str, str]] = None
+                ) -> Sequence[tuple]:
+    """Apply the ``/query`` filter semantics to a row sequence.
+
+    Shared between :meth:`TupleStore.query` and the scatter-gather
+    router (:mod:`repro.shard.router`) so a sharded deployment answers
+    filtered queries byte-identically to the single store.
+    """
+    if contains:
+        needle = contains.lower()
+        rows = [t for t in rows if needle in _tuple_text(t).lower()]
+    if field_filters:
+        for var, want in field_filters.items():
+            rows = [t for t in rows if _field_value(t, var) == want]
+    return rows
+
+
+def build_relation_index(page_rows: Mapping[str, Mapping[str, Sequence[tuple]]],
+                         relation: str) -> Tuple[tuple, ...]:
+    """The canonical relation index: cross-page dedupe + total sort.
+
+    This is the single definition of pagination order for one
+    relation; the eager store builds it at apply time, the lazy store
+    (sharded serving) on first read.
+    """
+    seen = set()
+    merged: List[tuple] = []
+    for did in page_rows:
+        for tup in page_rows[did].get(relation, ()):
+            if tup not in seen:
+                seen.add(tup)
+                merged.append(tup)
+    merged.sort(key=_sort_key)
+    return tuple(merged)
+
+
+def merge_relation_indexes(indexes: Sequence[Sequence[tuple]]
+                           ) -> Tuple[tuple, ...]:
+    """K-way merge of per-shard sorted relation indexes, deduplicated.
+
+    Each input is already sorted by :func:`_sort_key` and internally
+    deduplicated (a shard's own index); the same tuple may still
+    appear in several shards when different pages emit it. The merge
+    is byte-identical to :func:`build_relation_index` over the union
+    of the shards' page maps: equal sort keys imply equal tuples for
+    canonical values, so set-dedup during a stable heap merge yields
+    exactly the global dedupe-then-sort order.
+    """
+    seen = set()
+    merged: List[tuple] = []
+    for tup in heapq.merge(*indexes, key=_sort_key):
+        if tup not in seen:
+            seen.add(tup)
+            merged.append(tup)
+    return tuple(merged)
+
+
+class LazyRelationIndex(Mapping):
+    """A relation index built per relation on first read.
+
+    The sharded serving tier moves index assembly off the writer path:
+    a shard's apply only replaces per-page row maps, and the sorted,
+    deduplicated index materializes lazily — on a *reader* thread, at
+    most once per (generation, relation), behind a double-checked
+    lock. The mapping is immutable from the outside: same keys, same
+    values, forever — readers can treat it exactly like the eager
+    ``dict`` index.
+    """
+
+    def __init__(self, page_rows: Mapping[str, Mapping[str, Sequence[tuple]]],
+                 schema: Sequence[str]) -> None:
+        self._page_rows = page_rows
+        self._schema = tuple(schema)
+        self._built: Dict[str, Tuple[tuple, ...]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def built(self) -> bool:
+        """True once every relation's index has materialized."""
+        return len(self._built) == len(self._schema)
+
+    def __getitem__(self, relation: str) -> Tuple[tuple, ...]:
+        if relation not in self._schema:
+            raise KeyError(relation)
+        index = self._built.get(relation)
+        if index is None:
+            with self._lock:
+                index = self._built.get(relation)
+                if index is None:
+                    index = build_relation_index(self._page_rows, relation)
+                    self._built[relation] = index
+        return index
+
+    def get(self, relation: str, default=None):
+        try:
+            return self[relation]
+        except KeyError:
+            return default
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema)
+
+    def __len__(self) -> int:
+        return len(self._schema)
+
+
 @dataclass(frozen=True)
 class Generation:
     """One immutable published state of a view.
@@ -109,6 +218,22 @@ class Generation:
 
     def total_tuples(self) -> int:
         return sum(len(rows) for rows in self.relations.values())
+
+    def tuples_estimate(self) -> int:
+        """Deduplicated tuple count when cheap, raw row count otherwise.
+
+        A lazy-index generation (sharded serving) must not pay the
+        cross-page dedupe on the writer path just to report a metric;
+        until a reader materializes the index this returns the raw
+        per-page row count (an upper bound). Eager generations — and
+        lazy ones once built — report the exact deduplicated total.
+        """
+        relations = self.relations
+        if isinstance(relations, LazyRelationIndex) and not relations.built:
+            return sum(len(rows)
+                       for rels in self.page_rows.values()
+                       for rows in rels.values())
+        return self.total_tuples()
 
     def canonical(self) -> Dict[str, frozenset]:
         """Order-insensitive relation view (the Theorem 1 shape)."""
@@ -175,12 +300,19 @@ class TupleStore:
     off-line and publishes it with a single swap.
     """
 
-    def __init__(self, view: str, relations: Sequence[str]) -> None:
+    def __init__(self, view: str, relations: Sequence[str],
+                 lazy_index: bool = False) -> None:
         self.view = view
         #: The program's head relations — the query schema, fixed at
         #: registration so an empty view still rejects bad relation
         #: names precisely.
         self.schema = tuple(relations)
+        #: Lazy mode (the sharded serving tier): ``apply_delta`` skips
+        #: the relation-index rebuild entirely and publishes a
+        #: :class:`LazyRelationIndex` instead, moving the dedupe+sort
+        #: from the writer path to the first reader that needs it.
+        #: Results are byte-identical either way.
+        self.lazy_index = lazy_index
         self._lock = threading.Lock()
         self._current: Optional[Generation] = None
         self._gen_counter = 0
@@ -214,12 +346,7 @@ class TupleStore:
                 f"view {self.view!r} has no relation {relation!r}; "
                 f"schema is {self.schema}")
         rows: Sequence[tuple] = generation.relations.get(relation, ())
-        if contains:
-            needle = contains.lower()
-            rows = [t for t in rows if needle in _tuple_text(t).lower()]
-        if field_filters:
-            for var, want in field_filters.items():
-                rows = [t for t in rows if _field_value(t, var) == want]
+        rows = filter_rows(rows, contains, field_filters)
         offset = max(0, offset)
         limit = max(0, limit)
         return QueryResult(
@@ -266,21 +393,21 @@ class TupleStore:
             page_rows[did] = {rel: tuple(rows)
                               for rel, rows in rels.items()}
             replaced += 1
+        index: Mapping[str, Tuple[tuple, ...]]
         if relations is not None:
-            index: Dict[str, Tuple[tuple, ...]] = {
-                rel: tuple(relations.get(rel, ())) for rel in self.schema}
+            index = {rel: tuple(relations.get(rel, ()))
+                     for rel in self.schema}
+        elif self.lazy_index:
+            if previous is not None and not replaced and not deleted:
+                # No-op delta: the page map is content-identical, so
+                # the previous generation's index (and any relation a
+                # reader already materialized in it) carries forward.
+                index = previous.relations
+            else:
+                index = LazyRelationIndex(page_rows, self.schema)
         else:
-            index = {}
-            for rel in self.schema:
-                seen = set()
-                merged: List[tuple] = []
-                for did in page_rows:
-                    for tup in page_rows[did].get(rel, ()):
-                        if tup not in seen:
-                            seen.add(tup)
-                            merged.append(tup)
-                merged.sort(key=_sort_key)
-                index[rel] = tuple(merged)
+            index = {rel: build_relation_index(page_rows, rel)
+                     for rel in self.schema}
         generation = Generation(
             gen_id=self._gen_counter + 1,
             snapshot_index=snapshot_index,

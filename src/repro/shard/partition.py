@@ -1,0 +1,67 @@
+"""Stable page-to-shard partitioning by content-independent page hash.
+
+The partitioner is the one place the sharded tier decides which shard
+owns which page, and its single hard requirement is *stability*: a
+page's shard assignment depends only on its ``did`` (the URL-derived
+page id, constant across snapshots and across edits), never on
+content, arrival order, shard load, or process lifetime. Stability is
+what makes per-shard differential maintenance sound — shard *s* diffs
+its sub-snapshot against its own previous sub-snapshot, and a page
+that "migrated" between shards would look like a delete on one shard
+and a fresh add on another, silently losing reuse state and, worse,
+racing the two shards' publishes. A page that leaves the corpus and
+later returns (resurrection) therefore lands on the *same* shard,
+where the view's tombstone map turns it into an explicit
+retract-then-add.
+
+The hash is ``blake2b`` over the did bytes — keyed by nothing, so the
+assignment is reproducible across processes and runs (Python's
+builtin ``hash`` is randomized per process and would shuffle the
+partition on every restart).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from ..corpus.snapshot import Snapshot
+
+
+def shard_of(did: str, n_shards: int) -> int:
+    """The owning shard of a page id: ``blake2b(did) mod n_shards``."""
+    digest = hashlib.blake2b(did.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+class Partitioner:
+    """Splits snapshots into per-shard sub-snapshots."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+
+    def shard_of(self, did: str) -> int:
+        return shard_of(did, self.n_shards)
+
+    def split(self, snapshot: Snapshot) -> List[Snapshot]:
+        """One sub-snapshot per shard, all carrying the parent's index.
+
+        Page order within each sub-snapshot preserves the parent
+        snapshot's order (the reuse engine's sequential-scan
+        precondition). A shard whose subset is empty still gets a
+        zero-page sub-snapshot: every shard sees every snapshot index,
+        which is what lets the router's generation vector use plain
+        per-shard high-water marks, and an empty subset correctly
+        means "all of this shard's pages left the corpus" — partition
+        stability guarantees a page absent from shard *s*'s subset is
+        absent from the whole snapshot.
+        """
+        buckets: List[List] = [[] for _ in range(self.n_shards)]
+        for page in snapshot.pages:
+            buckets[self.shard_of(page.did)].append(page)
+        return [Snapshot(snapshot.index, pages) for pages in buckets]
+
+    def describe(self) -> dict:
+        return {"n_shards": self.n_shards, "hash": "blake2b/8"}

@@ -1,0 +1,158 @@
+"""Per-shard read replicas with staleness-bounded routing.
+
+Each shard can fan its published generations out to R read replicas.
+In-process a "replica" is a bounded catalog of recent generation
+references (the generations themselves are immutable and shared — the
+fan-out copies nothing), but the routing contract is the one a
+networked replica tier would have to honor:
+
+* **consistency** — a replica may serve a vector position only if it
+  holds the *exact* generation the vector names (matched by object
+  identity, the strictest possible check). A replica that has the
+  right snapshot index but a different generation object — e.g. after
+  a quarantine-and-heal rebuilt the shard — is a miss, never an
+  approximate hit.
+* **staleness bound** — a replica more than ``max_staleness``
+  snapshots behind the vector is not even consulted; the router falls
+  back to the shard primary and counts the fallback. Propagation is
+  asynchronous by design (``offer`` happens after the primary's
+  publish), so bounded staleness, not freshness, is the guarantee.
+
+``ShardReplica.offer_delay`` is a deliberate test seam: the chaos
+suite installs a delaying/dropping hook to force replicas behind and
+assert the router's fallback path keeps every response byte-identical
+to the primary's.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..serve.store import Generation
+
+#: How many recent generations one replica retains per view.
+REPLICA_HISTORY = 8
+
+
+class ShardReplica:
+    """One read replica of one shard: recent generations per view."""
+
+    def __init__(self, shard_id: int, replica_id: int,
+                 history_limit: int = REPLICA_HISTORY) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.history_limit = max(1, history_limit)
+        self._lock = threading.Lock()
+        #: view -> snapshot_index -> Generation, insertion-ordered so
+        #: the oldest entry evicts first.
+        self._gens: Dict[str, "OrderedDict[int, Generation]"] = {}
+        self.offers = 0
+        #: Test seam: called with ``(view, generation)`` before the
+        #: replica stores an offered generation; raising drops the
+        #: offer (models a lost replication message), sleeping delays
+        #: it (models replication lag).
+        self.offer_delay: Optional[
+            Callable[[str, Generation], None]] = None
+
+    def offer(self, view: str, generation: Generation) -> bool:
+        """Asynchronously replicate one published generation."""
+        hook = self.offer_delay
+        if hook is not None:
+            try:
+                hook(view, generation)
+            except Exception:  # noqa: BLE001 - dropped replication message
+                return False
+        with self._lock:
+            history = self._gens.setdefault(view, OrderedDict())
+            history[generation.snapshot_index] = generation
+            while len(history) > self.history_limit:
+                history.popitem(last=False)
+            self.offers += 1
+        return True
+
+    def get(self, view: str, snapshot_index: int) -> Optional[Generation]:
+        with self._lock:
+            return self._gens.get(view, {}).get(snapshot_index)
+
+    def high_water(self, view: str) -> Optional[int]:
+        """The newest snapshot index this replica holds for a view."""
+        with self._lock:
+            history = self._gens.get(view)
+            if not history:
+                return None
+            return next(reversed(history))
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "shard": self.shard_id,
+                "replica": self.replica_id,
+                "offers": self.offers,
+                "views": {view: list(history)
+                          for view, history in self._gens.items()},
+            }
+
+
+class ReplicaSet:
+    """The replicas of one shard plus the routing policy over them."""
+
+    def __init__(self, shard_id: int, n_replicas: int,
+                 max_staleness: int = 0,
+                 history_limit: int = REPLICA_HISTORY) -> None:
+        self.shard_id = shard_id
+        self.max_staleness = max(0, max_staleness)
+        self.replicas: List[ShardReplica] = [
+            ShardReplica(shard_id, r, history_limit=history_limit)
+            for r in range(n_replicas)]
+        self._lock = threading.Lock()
+        self._rr = 0
+        self.hits = 0
+        self.fallbacks = 0
+
+    def offer(self, view: str, generation: Generation) -> None:
+        for replica in self.replicas:
+            replica.offer(view, generation)
+
+    def pick(self, view: str, want: Generation,
+             head_index: Optional[int] = None
+             ) -> Tuple[str, Generation]:
+        """Route one shard read: ``("replica"|"primary", generation)``.
+
+        The round-robin-chosen replica serves only when it holds the
+        exact generation the caller's vector names (identity match)
+        *and* its own high-water mark is within ``max_staleness``
+        snapshots of the shard primary's head (``head_index``);
+        anything else falls back to the primary — the generation the
+        vector itself pins, so the answer is identical either way.
+        Consistency is never traded for replica traffic; the staleness
+        bound only removes chronically lagging replicas from rotation.
+        """
+        if not self.replicas:
+            return "primary", want
+        with self._lock:
+            replica = self.replicas[self._rr % len(self.replicas)]
+            self._rr += 1
+        held = replica.get(view, want.snapshot_index)
+        if held is want:
+            high = replica.high_water(view)
+            head = head_index if head_index is not None \
+                else want.snapshot_index
+            if high is not None and head - high <= self.max_staleness:
+                with self._lock:
+                    self.hits += 1
+                return "replica", held
+        with self._lock:
+            self.fallbacks += 1
+        return "primary", want
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "shard": self.shard_id,
+                "replicas": len(self.replicas),
+                "max_staleness": self.max_staleness,
+                "hits": self.hits,
+                "fallbacks": self.fallbacks,
+            }
