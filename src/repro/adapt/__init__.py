@@ -1,0 +1,63 @@
+"""Drift-aware online re-optimization (the adaptive control plane).
+
+The paper's optimizer picks one matcher assignment from statistics
+sampled over the last ``k`` snapshots (Section 6.3) and never revisits
+it. Real evolving corpora shift regimes mid-series — template
+redesigns, churn bursts, vocabulary drift — and a plan chosen under the
+old regime keeps paying for matching (or forgoing reuse) long after the
+statistics that justified it stopped being true.
+
+This package closes the loop over the existing data plane:
+
+* :mod:`repro.adapt.drift` — a corpus-drift simulator: regime schedules
+  (piecewise evolution parameters and generator swaps) over the
+  :class:`~repro.corpus.evolve.EvolvingCorpus`, deterministic under the
+  injected-rng contract;
+* :mod:`repro.adapt.detect` — an online drift detector over per-snapshot
+  run observations (change rate, fast-path hit rates, seconds/page,
+  cost-model residual) using Page–Hinkley mean-shift tests;
+* :mod:`repro.adapt.replan` — the mid-series re-optimizer: on a drift
+  signal, re-run the §6.3 collector on a fresh sample plus the
+  Algorithm-1 search, and swap the plan behind a hysteresis guard.
+
+Theorem 1 (all assignments produce identical results) is the safety
+net: switching plans mid-series can change cost only, never output, so
+every post-switch generation stays byte-comparable to the batch oracle.
+"""
+
+from .detect import AdaptObservation, DriftDetector, DriftSignal, PageHinkley
+from .drift import (
+    DRIFT_PROFILES,
+    DriftingCorpus,
+    FactDilutionGenerator,
+    Regime,
+    RegimeSchedule,
+    TemplateVariantGenerator,
+    drift_profile,
+)
+from .replan import (
+    ADAPT_MODES,
+    AdaptConfig,
+    AdaptDecision,
+    AdaptiveDelexSystem,
+    should_switch,
+)
+
+__all__ = [
+    "ADAPT_MODES",
+    "AdaptConfig",
+    "AdaptDecision",
+    "AdaptiveDelexSystem",
+    "AdaptObservation",
+    "DriftDetector",
+    "DriftSignal",
+    "DriftingCorpus",
+    "DRIFT_PROFILES",
+    "FactDilutionGenerator",
+    "PageHinkley",
+    "Regime",
+    "RegimeSchedule",
+    "TemplateVariantGenerator",
+    "drift_profile",
+    "should_switch",
+]

@@ -48,7 +48,29 @@ _UNICODE_SNIPPETS = ("αβγ δèlta", "naïve café", "étude",
 
 _BLANKS = ("", " ", "\n\n", " \t \n ")
 
-CORPUS_FACTORIES = {"dblife": dblife_corpus, "wikipedia": wikipedia_corpus}
+def _drift_factory(profile: str, kind: str):
+    from ..adapt.drift import drift_profile
+
+    def factory(n_pages: int = 6, seed: int = 0):
+        # shift_at=1 puts the regime boundary inside even the shortest
+        # (3-snapshot) fuzz series, with a stationary baseline first.
+        return drift_profile(profile, n_pages=n_pages, seed=seed,
+                             shift_at=1, kind=kind)
+
+    return factory
+
+
+#: Corpus axes the fuzzer sweeps: the two stationary paper corpora
+#: plus regime-shifting series from :mod:`repro.adapt.drift`, so the
+#: differential oracle also covers mid-series churn bursts and
+#: template redesigns.
+CORPUS_FACTORIES = {
+    "dblife": dblife_corpus,
+    "wikipedia": wikipedia_corpus,
+    "drift_churn": _drift_factory("churn_burst", "dblife"),
+    "drift_redesign": _drift_factory("redesign", "wikipedia"),
+    "drift_vocab": _drift_factory("vocab_drift", "dblife"),
+}
 
 
 @dataclass(frozen=True)

@@ -38,11 +38,14 @@ from .fuzz import (
 from .grid import GRID_NAMES, build_grid
 from .oracle import OracleReport
 
-#: (task, corpus) pairs the campaign cycles through. Both pairs are
+#: (task, corpus) pairs the campaign cycles through. The first two are
 #: copy-heavy for delex under fixed assignments (the interesting
-#: regime); together they cover both corpus change models.
+#: regime) and together cover both corpus change models; the third is
+#: a regime-shifting series (churn burst mid-series), so every grid —
+#: including the small CI one — sweeps at least one drift config.
 CASE_MIX: Tuple[Tuple[str, str], ...] = (("play", "wikipedia"),
-                                         ("chair", "dblife"))
+                                         ("chair", "dblife"),
+                                         ("chair", "drift_churn"))
 
 
 @dataclass

@@ -65,8 +65,16 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
-    factory = dblife_corpus if args.kind == "dblife" else wikipedia_corpus
-    corpus = factory(n_pages=args.pages, seed=args.seed)
+    if args.drift is not None:
+        from .adapt.drift import drift_profile
+
+        corpus = drift_profile(args.drift, n_pages=args.pages,
+                               seed=args.seed, shift_at=args.shift_at,
+                               kind=args.kind)
+    else:
+        factory = (dblife_corpus if args.kind == "dblife"
+                   else wikipedia_corpus)
+        corpus = factory(n_pages=args.pages, seed=args.seed)
     store = CorpusStore(args.store)
     if len(store) > 0:
         print(f"error: store {args.store} is not empty", file=sys.stderr)
@@ -79,6 +87,10 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     print(f"  avg pages/snapshot : {profile.avg_pages:.0f}")
     print(f"  avg KB/snapshot    : {profile.avg_bytes / 1024:.1f}")
     print(f"  fraction identical : {profile.avg_fraction_identical:.2f}")
+    shifts = getattr(corpus, "regime_shifts", None)
+    if shifts:
+        rendered = ", ".join(f"{note}@{index}" for index, note in shifts)
+        print(f"  regime shifts      : {rendered}")
     return 0
 
 
@@ -126,7 +138,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 reports = run_series(task, snapshots, systems=systems,
                                      workdir=workdir, jobs=args.jobs,
                                      backend=args.backend,
-                                     fastpath=args.fastpath)
+                                     fastpath=args.fastpath,
+                                     adapt=getattr(args, "adapt", "off"))
     except BaseException:
         obs.disable_all()
         raise
@@ -161,6 +174,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\nfastpath (last snapshot):")
         for line in fastpath_lines:
             print(line)
+    if getattr(args, "adapt", "off") != "off" and "delex" in systems:
+        summary = _adapt_summary(reports["delex"])
+        print(f"\nadapt (delex): mode={args.adapt} "
+              f"detections={summary['detections']} "
+              f"replans={summary['replans']} "
+              f"switches={summary['switches']} "
+              f"sampling={summary['sampling_seconds']:.3f}s")
     if getattr(args, "metrics_json", None):
         obs_doc = {"registry": obs.REGISTRY.to_dict()}
         if profiler is not None:
@@ -184,6 +204,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if problems:
             return 1
     return 0
+
+
+def _adapt_summary(report) -> dict:
+    """Aggregate the controller's per-snapshot decisions of a series."""
+    replan_actions = ("replan_switch", "replan_keep", "shadow_replan",
+                      "forced_replan")
+    switch_actions = ("replan_switch", "forced_replan")
+    summary = {"detections": 0, "replans": 0, "switches": 0,
+               "sampling_seconds": 0.0}
+    for snap in report.snapshots:
+        decision = (snap.optimizer or {}).get("adapt")
+        if not decision:
+            continue
+        if decision.get("signal"):
+            summary["detections"] += 1
+        if decision["action"] in replan_actions:
+            summary["replans"] += 1
+        if decision["action"] in switch_actions:
+            summary["switches"] += 1
+        summary["sampling_seconds"] += decision.get("sampling_seconds",
+                                                    0.0)
+    return summary
 
 
 def _dump_metrics_json(path: str, task, snapshots, systems,
@@ -219,6 +261,8 @@ def _dump_metrics_json(path: str, task, snapshots, systems,
                     "seconds": snap.seconds,
                     "mentions": snap.mentions,
                     "timings": snap.timings.to_dict(),
+                    **({"optimizer": snap.optimizer}
+                       if snap.optimizer is not None else {}),
                 }
                 for snap in report.snapshots
             ],
@@ -268,7 +312,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     configs = [ViewConfig(
         name=name, task=name, system=args.system,
         fastpath=args.fastpath, jobs=args.jobs,
-        backend=args.backend, work_scale=args.work_scale)
+        backend=args.backend, work_scale=args.work_scale,
+        adapt=args.adapt)
         for name in task_names]
     snapshot_store = (CorpusStore(os.path.join(workdir, "corpus"))
                       if args.persist else None)
@@ -442,6 +487,16 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--seed", type=int, default=0)
     corpus.add_argument("--store", required=True,
                         help="directory for the corpus store")
+    corpus.add_argument("--drift", default=None,
+                        choices=("stationary", "churn_burst", "redesign",
+                                 "vocab_drift"),
+                        help="generate a regime-shifting series with "
+                             "this drift profile instead of the "
+                             "stationary evolver")
+    corpus.add_argument("--shift-at", type=int, default=2,
+                        metavar="INDEX",
+                        help="first snapshot index produced under the "
+                             "drifted regime (default 2)")
 
     run = sub.add_parser(
         "run", help="run systems over a stored corpus",
@@ -481,6 +536,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "cache, reuse-file index) for the reusing "
                           "systems; results are identical either way "
                           "(default on)")
+    run.add_argument("--adapt", default="off",
+                     choices=("off", "shadow", "on"),
+                     help="drift-aware online re-optimization for delex: "
+                          "off = re-plan every snapshot (the paper's "
+                          "behavior); shadow = plan once, detect drift "
+                          "and log would-be replans without switching; "
+                          "on = plan once and re-plan/switch on drift "
+                          "behind a hysteresis guard. Results are "
+                          "identical in all modes (Theorem 1)")
     run.add_argument("--metrics-json", default=None, metavar="PATH",
                      help="after the run, dump per-system per-snapshot "
                           "timings, runtime telemetry, fast-path "
@@ -589,6 +653,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "the relational plan")
     serve.add_argument("--fastpath", default="on",
                        choices=("on", "off"))
+    serve.add_argument("--adapt", default="off",
+                       choices=("off", "shadow", "on"),
+                       help="drift-aware in-flight re-planning for "
+                            "delex views: shadow detects and logs, on "
+                            "re-plans behind the hysteresis guard; "
+                            "published rows are identical in every "
+                            "mode (default off)")
     serve.add_argument("--jobs", type=int, default=1)
     serve.add_argument("--backend", default="auto",
                        choices=("auto", "serial", "thread", "process"))

@@ -16,13 +16,15 @@ The first snapshot is a bootstrap: plain execution plus capture.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Tuple
 
 from ..corpus.snapshot import Snapshot
 from ..extractors.library import IETask
 from ..fastpath.config import FastPathConfig
 from ..fastpath.matchcache import CrossSnapshotMatchCache
 from ..obs import registry as _oreg
+from ..optimizer.params import Statistics
 from ..optimizer.search import SearchResult, search_plan
 from ..optimizer.stats import collect_statistics
 from ..plan.compile import CompiledPlan, compile_program
@@ -68,6 +70,15 @@ class DelexSystem:
         self._snapshot_serial = 0
         self.last_search: Optional[SearchResult] = None
         self.last_assignment: Optional[PlanAssignment] = None
+        #: Statistics behind ``last_search`` and the snapshot index they
+        #: were sampled on. On snapshots where the plan is kept without
+        #: re-sampling (fixed assignment, adaptive keep) these stay at
+        #: the values that justified the current plan.
+        self.last_stats: Optional[Statistics] = None
+        self.last_stats_index: Optional[int] = None
+        #: ``f`` estimator passed to the collector: "flat" reproduces
+        #: the paper; the adaptive controller samples with "recency".
+        self.f_mode = "flat"
         self._last_result: Optional[SnapshotRunResult] = None
         self._extract_rates: Dict[str, float] = {}
         #: When ``collect_page_rows`` is set, every ``process`` call
@@ -123,27 +134,7 @@ class DelexSystem:
                                  "processed by this DelexSystem")
         timings = Timings()
         timer = Timer(timings)
-        if not self._history or self._prev_dir is None:
-            assignment = (self.fixed_assignment
-                          or PlanAssignment.all_dn(self.units))
-        elif self.fixed_assignment is not None:
-            assignment = self.fixed_assignment
-        else:
-            with timer.measure_total():
-                with timer.measure(OPT):
-                    prev_stats = (self._last_result.unit_stats
-                                  if self._last_result is not None else None)
-                    stats = collect_statistics(
-                        self.plan, self.units, snapshot, self._history,
-                        sample_size=self.sample_size,
-                        k_snapshots=self.k_snapshots,
-                        max_match_pairs=min(self.sample_size, 3),
-                        prev_capture_dir=self._prev_dir,
-                        prev_unit_stats=prev_stats,
-                        known_extract_rates=self._extract_rates)
-                    self.last_search = search_plan(self.units, stats,
-                                                   self.chains)
-                    assignment = self.last_search.assignment
+        assignment = self._choose_assignment(snapshot, timer)
         self.last_assignment = assignment
         engine = ReuseEngine(self.plan, self.units, assignment,
                              scope=self.scope, executor=self.executor,
@@ -169,6 +160,47 @@ class DelexSystem:
         if len(self._history) > max(self.k_snapshots + 1, 4):
             self._history.pop(0)
         return result
+
+    def _choose_assignment(self, snapshot: Snapshot,
+                           timer: Timer) -> PlanAssignment:
+        """Pick the matcher assignment for ``snapshot``.
+
+        Base behavior re-optimizes every reuse snapshot: sample, search,
+        adopt. :class:`~repro.adapt.replan.AdaptiveDelexSystem`
+        overrides this to plan once and re-enter the optimizer only on
+        a drift signal.
+        """
+        if not self._history or self._prev_dir is None:
+            return self.fixed_assignment or PlanAssignment.all_dn(self.units)
+        if self.fixed_assignment is not None:
+            return self.fixed_assignment
+        search, _stats, _seconds = self._sample_and_search(snapshot, timer)
+        return search.assignment
+
+    def _sample_and_search(self, snapshot: Snapshot, timer: Timer
+                           ) -> Tuple[SearchResult, Statistics, float]:
+        """Run the §6.3 collector plus Algorithm-1 search; returns the
+        search result, the sampled statistics, and the wall seconds
+        spent (also attributed to the Opt timing category)."""
+        start = time.perf_counter()
+        with timer.measure_total():
+            with timer.measure(OPT):
+                prev_stats = (self._last_result.unit_stats
+                              if self._last_result is not None else None)
+                stats = collect_statistics(
+                    self.plan, self.units, snapshot, self._history,
+                    sample_size=self.sample_size,
+                    k_snapshots=self.k_snapshots,
+                    max_match_pairs=min(self.sample_size, 3),
+                    prev_capture_dir=self._prev_dir,
+                    prev_unit_stats=prev_stats,
+                    known_extract_rates=self._extract_rates,
+                    f_mode=self.f_mode)
+                search = search_plan(self.units, stats, self.chains)
+        self.last_search = search
+        self.last_stats = stats
+        self.last_stats_index = snapshot.index
+        return search, stats, time.perf_counter() - start
 
     def _gc_old_capture(self) -> None:
         """Drop capture directories older than ``capture_history``."""

@@ -59,7 +59,8 @@ def resolve_executor(task: IETask, executor: Optional[Executor] = None,
 def make_system(name: str, task: IETask, workdir: str,
                 executor: Optional[Executor] = None, jobs: int = 1,
                 backend: str = "auto",
-                fastpath: Optional[FastPathConfig] = None, **kwargs):
+                fastpath: Optional[FastPathConfig] = None,
+                adapt: object = None, **kwargs):
     """Instantiate one of the four systems for a task.
 
     ``executor`` (or ``jobs``/``backend``) selects the execution
@@ -69,6 +70,12 @@ def make_system(name: str, task: IETask, workdir: str,
     :class:`~repro.fastpath.config.FastPathConfig` or the CLI strings
     ``"on"``/``"off"`` and defaults to on. The non-reusing baselines
     ignore it (they never pair pages).
+
+    ``adapt`` enables the drift-aware controller for delex: an
+    :class:`~repro.adapt.replan.AdaptConfig` or one of the CLI strings
+    ``"on"``/``"shadow"``/``"static"`` (``"off"``/``None`` keep the
+    per-snapshot re-optimizer). Only delex understands it; the other
+    systems have no plan to adapt.
     """
     plan = compile_program(task.program, task.registry)
     executor = resolve_executor(task, executor, jobs, backend)
@@ -82,6 +89,12 @@ def make_system(name: str, task: IETask, workdir: str,
                             task.program_alpha, task.program_beta,
                             executor=executor, fastpath=fastpath, **kwargs)
     if name == "delex":
+        from ..adapt.replan import AdaptConfig, AdaptiveDelexSystem
+        config = AdaptConfig.from_flag(adapt)
+        if config is not None:
+            return AdaptiveDelexSystem(task, os.path.join(workdir, "delex"),
+                                       adapt=config, executor=executor,
+                                       fastpath=fastpath, **kwargs)
         return DelexSystem(task, os.path.join(workdir, "delex"),
                            executor=executor, fastpath=fastpath, **kwargs)
     raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
@@ -101,6 +114,35 @@ class SnapshotReport:
     timings: Timings
     mentions: int
     results: Dict[str, frozenset] = field(repr=False, default_factory=dict)
+    optimizer: Optional[Dict[str, object]] = field(repr=False, default=None)
+    """Optimizer audit trail for plan-choosing systems (delex): the
+    chosen assignment, the sampled statistics behind it, and — when the
+    adaptive controller is active — its decision for this snapshot."""
+
+
+def optimizer_snapshot_doc(instance, snapshot_index: int
+                           ) -> Optional[Dict[str, object]]:
+    """Assemble the per-snapshot optimizer audit record, if the system
+    exposes one (duck-typed on the delex attributes)."""
+    assignment = getattr(instance, "last_assignment", None)
+    if assignment is None:
+        return None
+    doc: Dict[str, object] = {"assignment": dict(assignment.matchers)}
+    search = getattr(instance, "last_search", None)
+    if search is not None:
+        doc["estimated_cost"] = search.estimated_cost
+        doc["plans_considered"] = search.considered
+    stats = getattr(instance, "last_stats", None)
+    if stats is not None:
+        doc["statistics"] = stats.to_dict()
+        doc["sampled_at_snapshot"] = getattr(instance, "last_stats_index",
+                                             None)
+    decisions = getattr(instance, "decisions", None)
+    if decisions:
+        last = decisions[-1]
+        if last.snapshot_index == snapshot_index:
+            doc["adapt"] = last.to_dict()
+    return doc
 
 
 @dataclass
@@ -142,6 +184,7 @@ def run_series(task: IETask, snapshots: Sequence[Snapshot],
                executor: Optional[Executor] = None,
                jobs: int = 1, backend: str = "auto",
                fastpath: Optional[FastPathConfig] = None,
+               adapt: object = None,
                ) -> Dict[str, SeriesReport]:
     """Run the requested systems over consecutive snapshots.
 
@@ -151,7 +194,9 @@ def run_series(task: IETask, snapshots: Sequence[Snapshot],
     results are backend-independent by construction. ``fastpath``
     configures the snapshot-delta fast paths of the reusing systems
     (default on); results are fast-path-independent by construction
-    too. Returns one :class:`SeriesReport` per system.
+    too. ``adapt`` switches delex to the drift-aware controller (see
+    :func:`make_system`); by Theorem 1 it cannot change results either.
+    Returns one :class:`SeriesReport` per system.
     """
     own_dir = workdir is None
     workdir = workdir or tempfile.mkdtemp(prefix="repro_run_")
@@ -163,6 +208,7 @@ def run_series(task: IETask, snapshots: Sequence[Snapshot],
             instance = make_system(system_name, task,
                                    os.path.join(workdir, system_name),
                                    executor=executor, fastpath=fastpath,
+                                   adapt=adapt,
                                    **system_kwargs.get(system_name, {}))
             report = SeriesReport(system=system_name, task=task.name)
             prev: Optional[Snapshot] = None
@@ -176,7 +222,9 @@ def run_series(task: IETask, snapshots: Sequence[Snapshot],
                     timings=result.timings,
                     mentions=result.total_mentions(),
                     results=(canonical_results(result)
-                             if keep_results else {})))
+                             if keep_results else {}),
+                    optimizer=optimizer_snapshot_doc(instance,
+                                                     snapshot.index)))
                 prev = snapshot
             reports[system_name] = report
     finally:

@@ -49,6 +49,14 @@ class CostWeights:
             return self.match_rate.get(RU_NAME, 1e-9)
         return self.match_rate.get(matcher, 1e-6)
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "io_per_block": self.io_per_block,
+            "find_per_comparison": self.find_per_comparison,
+            "copy_per_probe": self.copy_per_probe,
+            "match_rate": dict(sorted(self.match_rate.items())),
+        }
+
 
 def probe_io_weight(block_size: int = 4096, blocks: int = 256) -> float:
     """Measure sequential I/O seconds per block on this machine."""
@@ -134,6 +142,18 @@ class UnitEstimates:
             return 0.0
         return self.s.get(matcher, 1.0)
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "a": self.a, "a_prev": self.a_prev, "l": self.l,
+            "extract_rate": self.extract_rate,
+            "b_blocks": self.b_blocks, "c_blocks": self.c_blocks,
+            "s": dict(sorted(self.s.items())),
+            "g": dict(sorted(self.g.items())),
+            "h": dict(sorted(self.h.items())),
+            "g_ru": dict(sorted(self.g_ru.items())),
+            "h_ru": dict(sorted(self.h_ru.items())),
+        }
+
 
 @dataclass
 class Statistics:
@@ -153,6 +173,22 @@ class Statistics:
     v: int = DEFAULT_HASH_BUCKETS
     sample_pages: int = 0
     snapshots_used: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the shared ``to_dict`` contract).
+
+        Emitted per snapshot by ``repro run --metrics-json`` so the
+        optimizer's sampled inputs — and therefore every plan/replan
+        decision derived from them — are auditable offline.
+        """
+        return {
+            "f": self.f, "m": self.m, "d_blocks": self.d_blocks,
+            "v": self.v, "sample_pages": self.sample_pages,
+            "snapshots_used": self.snapshots_used,
+            "weights": self.weights.to_dict(),
+            "units": {uid: est.to_dict()
+                      for uid, est in sorted(self.units.items())},
+        }
 
 
 __all__ = [

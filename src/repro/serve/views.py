@@ -89,12 +89,20 @@ class ViewConfig:
     jobs: int = 1
     backend: str = "auto"
     work_scale: float = 1.0
+    adapt: str = "off"
+    """Drift-aware re-planning for ``system="delex"`` views: ``off``
+    re-optimizes every apply (the batch default), ``shadow`` plans once
+    and logs drift without switching, ``on`` re-plans in flight behind
+    the hysteresis guard. Published rows are identical in every mode
+    (Theorem 1); only maintenance cost changes."""
 
     def __post_init__(self) -> None:
         if self.system not in MAINTENANCE_SYSTEMS:
             raise ValueError(
                 f"unknown maintenance system {self.system!r}; choose "
                 f"from {MAINTENANCE_SYSTEMS}")
+        if self.adapt not in ("off", "shadow", "on", "static"):
+            raise ValueError(f"unknown adapt mode {self.adapt!r}")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -105,6 +113,7 @@ class ViewConfig:
             "jobs": self.jobs,
             "backend": self.backend,
             "work_scale": self.work_scale,
+            "adapt": self.adapt,
         }
 
 
@@ -199,7 +208,12 @@ class MaterializedView:
             self._system = make_system(
                 "delex", self.task, os.path.join(workdir, "delex"),
                 jobs=config.jobs, backend=config.backend,
-                fastpath=config.fastpath, collect_page_rows=True)
+                fastpath=config.fastpath, collect_page_rows=True,
+                adapt=config.adapt)
+            # Adaptive metrics are labelled per view, matching the
+            # "view:{name}" convention of publish_timings.
+            if hasattr(self._system, "metrics_label"):
+                self._system.metrics_label = f"view:{config.name}"
         elif config.system == "delta":
             self._delta = DeltaMaintainer(self.plan)
         #: did -> content fingerprint at deletion time; membership is
@@ -225,9 +239,15 @@ class MaterializedView:
     def generation(self) -> Optional[Generation]:
         return self.store.current()
 
+    def adapt_summary(self) -> Optional[Dict[str, object]]:
+        """The adaptive controller's counters, when one is maintaining
+        this view (``system="delex"`` with ``adapt != "off"``)."""
+        summary = getattr(self._system, "summary", None)
+        return summary() if callable(summary) else None
+
     def describe(self) -> Dict[str, object]:
         generation = self.generation
-        return {
+        doc = {
             "config": self.config.to_dict(),
             "relations": list(self.store.schema),
             "healthy": self.healthy,
@@ -237,6 +257,10 @@ class MaterializedView:
             "last_error": self.last_error,
             "applies": len(self.history),
         }
+        adapt = self.adapt_summary()
+        if adapt is not None:
+            doc["adapt"] = adapt
+        return doc
 
     # -- queries (any thread) ---------------------------------------------
 
