@@ -44,23 +44,35 @@ from ..reuse.files import (
 )
 from ..reuse.regions import dedupe_extensions, derive_reuse, extraction_keep
 from ..runtime.executor import Executor, SerialExecutor
-from ..runtime.metrics import build_metrics
+from ..runtime.metrics import BatchMetric, build_metrics
 from ..runtime.scheduler import PageScheduler
+from ..runtime.shm import build_arena
+from ..runtime.split import (
+    PagePart,
+    PartPoisoned,
+    SplitConfig,
+    part_extensions,
+    plan_parts,
+)
 from ..text.document import Page
 from ..text.regions import MatchSegment
 from ..text.span import Interval, Span
-from ..timing import COPY, IO, MATCH, OPT, Timer, Timings
-from .noreuse import run_page_plain
+from ..timing import COPY, EXTRACT, IO, MATCH, OPT, Timer, Timings
+from .noreuse import run_page_plain, scan_frontier
 
 _PROGRAM_ITID = 0
 
-#: Worker state: everything a batch needs besides its pages.
-_CyclexState = Tuple[CompiledPlan, int, int, str, str]
+#: Worker state: everything an item needs besides its page text —
+#: ``(plan, alpha, beta, matcher_name, kernel, arena_handle)``; the
+#: arena carries page text by reference/shared memory.
+_CyclexState = Tuple
 
-#: One page's work item: ("fresh", page) re-extracts from scratch;
-#: ("pair", page, q_page, prev_rows) recycles from the old version;
-#: ("copy", page, prev_rows) wholesale-recycles a byte-identical page
-#: (the fingerprint fast path — no matching, no extraction).
+#: One page's work item (text comes from the arena):
+#: ``("fresh", did, url)`` re-extracts from scratch;
+#: ``("pair", did, url, q_did, q_url, prev_rows)`` recycles from the
+#: old version; ``("copy", did, url, prev_rows)`` wholesale-recycles a
+#: byte-identical page (the fingerprint fast path — no matching, no
+#: extraction).
 _WorkItem = Tuple
 
 
@@ -114,46 +126,67 @@ def _process_pair(plan: CompiledPlan, alpha: int, beta: int, matcher,
     return page_rows
 
 
-def _cyclex_batch_worker(state: _CyclexState,
-                         payload: Tuple[_WorkItem, ...]
-                         ) -> Tuple[List[Dict[str, list]],
-                                    Dict[str, float]]:
-    """Process one batch of page work items (runs in any executor).
+def _cyclex_work_worker(state: _CyclexState, item):
+    """Process one work item (runs in any executor).
+
+    ``item`` is either ``("batch", (work items...))`` — whole pages,
+    reconstructed from the arena — or ``("part", part, ordinals)``, a
+    split-correct sub-page slice of a large fresh page whose frontier
+    IE nodes extract here and are re-assembled by the parent.
 
     A fresh matcher and match cache per batch is results-identical to
     the serial single-matcher run: Cyclex never assigns RU, so the
     cache is write-only.
     """
-    plan, alpha, beta, matcher_name, kernel = state
+    plan, alpha, beta, matcher_name, kernel, arena = state
     timings = Timings()
     timer = Timer(timings)
+    if item[0] == "part":
+        _, part, ordinals = item
+        frontier = scan_frontier(plan)
+        text = arena.text("c:" + part.did)
+        exts: Dict[int, list] = {}
+        poisoned: List[int] = []
+        for ordinal in ordinals:
+            try:
+                with timer.measure(EXTRACT):
+                    exts[ordinal] = part_extensions(frontier[ordinal],
+                                                    text, part)
+            except PartPoisoned:
+                poisoned.append(ordinal)
+        return ("part", part.did, part.index, exts, poisoned,
+                timings.parts)
     matcher = make_matcher(
         matcher_name, MatchCache(),
         min_length=max(8, min(2 * beta + 2, 32)), kernel=kernel)
-    out: List[Dict[str, list]] = []
-    for item in payload:
-        if item[0] == "fresh":
-            _, page = item
-            out.append(run_page_plain(plan, page, timer))
-        elif item[0] == "copy":
+    out: List[Tuple[str, Dict[str, list]]] = []
+    for work_item in item[1]:
+        if work_item[0] == "fresh":
+            _, did, url = work_item
+            page = Page(did, url, arena.text("c:" + did))
+            out.append((did, run_page_plain(plan, page, timer)))
+        elif work_item[0] == "copy":
             # Byte-identical page: the slow path's full-page match
             # yields one full-page copy zone and no extraction
             # regions, so its output per relation is exactly
             # ``dedupe_extensions(decoded previous rows)``. Reproduce
             # that directly without running the matcher.
-            _, page, prev_rows = item
+            _, did, url, prev_rows = work_item
             with timer.measure(COPY):
                 page_rows = {
                     rel: dedupe_extensions(
-                        [decode_fields(o.fields, page.did)
+                        [decode_fields(o.fields, did)
                          for o in prev_rows.get(rel, [])])
                     for rel in plan.program.head_relations()}
-            out.append(page_rows)
+            out.append((did, page_rows))
         else:
-            _, page, q_page, prev_rows = item
-            out.append(_process_pair(plan, alpha, beta, matcher,
-                                     page, q_page, prev_rows, timer))
-    return out, timings.parts
+            _, did, url, q_did, q_url, prev_rows = work_item
+            page = Page(did, url, arena.text("c:" + did))
+            q_page = Page(q_did, q_url, arena.text("q:" + q_did))
+            out.append((did, _process_pair(plan, alpha, beta, matcher,
+                                           page, q_page, prev_rows,
+                                           timer)))
+    return ("batch", out, timings.parts)
 
 
 class CyclexSystem:
@@ -167,7 +200,8 @@ class CyclexSystem:
                  executor: Optional[Executor] = None,
                  scheduler: Optional[PageScheduler] = None,
                  fastpath: Optional[FastPathConfig] = None,
-                 fixed_matcher: Optional[str] = None) -> None:
+                 fixed_matcher: Optional[str] = None,
+                 split: Optional[SplitConfig] = None) -> None:
         self.plan = plan
         self.workdir = workdir
         self.alpha = program_alpha
@@ -175,6 +209,7 @@ class CyclexSystem:
         self.probe_pages = probe_pages
         self.executor = executor if executor is not None else SerialExecutor()
         self.scheduler = scheduler if scheduler is not None else PageScheduler()
+        self.split = split if split is not None else SplitConfig()
         self.fastpath = FastPathConfig.from_flag(fastpath)
         # Pin the per-snapshot matcher choice (skips the timing-based
         # probe, whose winner is machine-dependent) — lets parity tests
@@ -297,6 +332,8 @@ class CyclexSystem:
                 # their previous versions and stream the previous
                 # result files sequentially.
                 work: Dict[str, _WorkItem] = {}
+                q_texts: Dict[str, str] = {}
+                fresh_dids: set = set()
                 for page in pages:
                     q_page = (prev_snapshot.get(page.url)
                               if prev_snapshot is not None else None)
@@ -306,7 +343,8 @@ class CyclexSystem:
                             or matcher_name == DN_NAME:
                         if q_page is not None:
                             self._skip_groups(readers, page.did, timer)
-                        work[page.did] = ("fresh", page)
+                        work[page.did] = ("fresh", page.did, page.url)
+                        fresh_dids.add(page.did)
                         continue
                     fp_stats.pages_paired += 1
                     prev_rows: Dict[str, List[OutputTuple]] = {}
@@ -322,25 +360,106 @@ class CyclexSystem:
                         fp_stats.matcher_calls_avoided += 1
                         fp_stats.tuples_recycled += sum(
                             len(rows) for rows in prev_rows.values())
-                        work[page.did] = ("copy", page, prev_rows)
+                        work[page.did] = ("copy", page.did, page.url,
+                                          prev_rows)
                         continue
-                    work[page.did] = ("pair", page, q_page, prev_rows)
-                # Phase 2: per-page match/copy/extract on the runtime.
-                batches = self.scheduler.plan(pages, self.executor.jobs)
-                payloads = [tuple(work[p.did] for p in batch.pages)
-                            for batch in batches]
+                    q_texts["q:" + q_page.did] = q_page.text
+                    work[page.did] = ("pair", page.did, page.url,
+                                      q_page.did, q_page.url, prev_rows)
+                # Phase 2: per-page match/copy/extract on the runtime;
+                # large fresh pages split into sub-page parts.
+                jobs = self.executor.jobs
+                frontier = scan_frontier(self.plan)
+                split_pages: Dict[str, List[PagePart]] = {}
+                if frontier and jobs > 1 and self.split.enabled:
+                    total_chars = sum(len(p.text) for p in pages)
+                    f_alpha = max(n.extractor.scope for n in frontier)
+                    f_beta = max(n.extractor.context for n in frontier)
+                    for page in pages:
+                        if page.did not in fresh_dids:
+                            continue
+                        if not self.split.should_split(
+                                len(page.text), total_chars, jobs):
+                            continue
+                        parts = plan_parts(page.did, len(page.text),
+                                           jobs, self.split, f_alpha,
+                                           f_beta)
+                        if len(parts) > 1:
+                            split_pages[page.did] = parts
+                texts = {"c:" + p.did: p.text for p in pages}
+                texts.update(q_texts)
+                arena = build_arena(texts, self.executor.name)
+                whole = [p for p in pages if p.did not in split_pages]
+                batches = self.scheduler.plan(whole, jobs)
+                payloads: List[tuple] = []
+                costs: List[float] = []
+                for batch in batches:
+                    payloads.append(("batch",
+                                     tuple(work[p.did]
+                                           for p in batch.pages)))
+                    costs.append(1 + batch.chars)
+                ordinals = tuple(range(len(frontier)))
+                for did in sorted(split_pages):
+                    for part in split_pages[did]:
+                        payloads.append(("part", part, ordinals))
+                        costs.append(float(part.hi - part.lo))
                 state: _CyclexState = (self.plan, self.alpha, self.beta,
-                                       matcher_name, self._kernel())
+                                       matcher_name, self._kernel(),
+                                       arena.handle)
                 wall_start = time.perf_counter()
-                timed = self.executor.map_batches(_cyclex_batch_worker,
-                                                  state, payloads)
-                wall_seconds = time.perf_counter() - wall_start
-                rows_by_did: Dict[str, Dict[str, list]] = {}
-                for batch, (_, (batch_rows, parts)) in zip(batches, timed):
-                    for page, page_rows in zip(batch.pages, batch_rows):
-                        rows_by_did[page.did] = page_rows
-                    for category, seconds in parts.items():
-                        timings.add(category, seconds)
+                try:
+                    work_res = self.executor.run_work(
+                        _cyclex_work_worker, state, payloads, costs)
+                    wall_seconds = time.perf_counter() - wall_start
+                    rows_by_did: Dict[str, Dict[str, list]] = {}
+                    part_exts: Dict[str, Dict[int, Dict[int, list]]] = {}
+                    part_poison: Dict[str, set] = {}
+                    batch_seconds: List[float] = []
+                    extra_batches: List[BatchMetric] = []
+                    for (seconds, value), cost in zip(work_res.timed,
+                                                      costs):
+                        if value[0] == "batch":
+                            batch_seconds.append(seconds)
+                            for did, page_rows in value[1]:
+                                rows_by_did[did] = page_rows
+                            for category, secs in value[2].items():
+                                timings.add(category, secs)
+                        else:
+                            _, did, index, exts, poisoned, parts = value
+                            part_exts.setdefault(did, {})[index] = exts
+                            part_poison.setdefault(did,
+                                                   set()).update(poisoned)
+                            for category, secs in parts.items():
+                                timings.add(category, secs)
+                            extra_batches.append(BatchMetric(
+                                index=index, pages=0, chars=int(cost),
+                                seconds=seconds, kind="part"))
+                    # Assemble split fresh pages in the parent: seed
+                    # each fully-covered frontier node with its merged
+                    # part extensions, evaluate the rest of the plan.
+                    page_by_did = {p.did: p for p in pages}
+                    for did in sorted(split_pages):
+                        page = page_by_did[did]
+                        parts = split_pages[did]
+                        by_index = part_exts.get(did, {})
+                        poisoned = part_poison.get(did, set())
+                        memo: Dict[int, list] = {}
+                        for ordinal, node in enumerate(frontier):
+                            if ordinal in poisoned:
+                                continue
+                            if any(p.index not in by_index
+                                   or ordinal not in by_index[p.index]
+                                   for p in parts):
+                                continue
+                            scan_row = {node.child.var:
+                                        Span(did, 0, len(page.text))}
+                            memo[id(node)] = [
+                                {**scan_row, **ext} for p in parts
+                                for ext in by_index[p.index][ordinal]]
+                        rows_by_did[did] = run_page_plain(
+                            self.plan, page, timer, memo=memo)
+                finally:
+                    arena.close()
                 # Phase 3 (parent, canonical order): record the new
                 # result files byte-identically to a serial run.
                 for page in pages:
@@ -353,7 +472,11 @@ class CyclexSystem:
                 reader.close()
         timings.runtime = build_metrics(
             self.executor.name, self.executor.jobs, wall_seconds,
-            batches, [s for s, _ in timed])
+            batches, batch_seconds,
+            extra_batches=extra_batches, steals=work_res.steals,
+            split_pages=len(split_pages),
+            split_parts=sum(len(v) for v in split_pages.values()),
+            shared_text=arena.shared, slot_busy=work_res.slot_busy)
         timings.fastpath = fp_stats
         self._prev_dir = out_dir
         self._snapshot_serial += 1

@@ -33,6 +33,7 @@ from ..reuse.engine import PlanAssignment, ReuseEngine, SnapshotRunResult
 from ..reuse.scope import PageMatchScope
 from ..runtime.executor import Executor
 from ..runtime.scheduler import PageScheduler
+from ..runtime.split import SplitConfig
 from ..timing import OPT, Timer, Timings
 
 
@@ -49,11 +50,13 @@ class DelexSystem:
                  executor: Optional[Executor] = None,
                  scheduler: Optional[PageScheduler] = None,
                  fastpath: Optional[FastPathConfig] = None,
+                 split: Optional[SplitConfig] = None,
                  collect_page_rows: bool = False) -> None:
         self.task = task
         self.workdir = workdir
         self.executor = executor
         self.scheduler = scheduler
+        self.split = split
         self.fastpath = FastPathConfig.from_flag(fastpath)
         os.makedirs(workdir, exist_ok=True)
         self.plan: CompiledPlan = compile_program(task.program,
@@ -140,7 +143,8 @@ class DelexSystem:
                              scope=self.scope, executor=self.executor,
                              scheduler=self.scheduler,
                              fastpath=self.fastpath,
-                             match_cache=self.match_cache)
+                             match_cache=self.match_cache,
+                             split=self.split)
         out_dir = self._out_dir()
         page_rows_out: Optional[Dict[str, Dict[str, list]]] = (
             {} if self.collect_page_rows else None)

@@ -40,20 +40,23 @@ def task_cost_hint(task: IETask) -> float:
 
 
 def resolve_executor(task: IETask, executor: Optional[Executor] = None,
-                     jobs: int = 1, backend: str = "auto"
+                     jobs: int = 1, backend: str = "auto",
+                     cpu_count: Optional[int] = None
                      ) -> Optional[Executor]:
     """Build the executor a run should use (None means serial).
 
     An explicit ``executor`` wins; otherwise ``jobs``/``backend`` are
     handed to :func:`repro.runtime.make_executor` with the task's
-    blackbox cost as the auto-chooser hint.
+    blackbox cost as the auto-chooser hint. ``cpu_count`` overrides the
+    machine's core count for the auto chooser (tests).
     """
     if executor is not None:
         return executor
     if jobs <= 1 and backend in ("auto", "serial"):
         return None
     return make_executor(backend, jobs=jobs,
-                         cost_hint=task_cost_hint(task))
+                         cost_hint=task_cost_hint(task),
+                         cpu_count=cpu_count)
 
 
 def make_system(name: str, task: IETask, workdir: str,
@@ -80,10 +83,10 @@ def make_system(name: str, task: IETask, workdir: str,
     plan = compile_program(task.program, task.registry)
     executor = resolve_executor(task, executor, jobs, backend)
     if name == "noreuse":
-        return NoReuseSystem(plan, executor=executor)
+        return NoReuseSystem(plan, executor=executor, **kwargs)
     if name == "shortcut":
         return ShortcutSystem(plan, os.path.join(workdir, "shortcut"),
-                              executor=executor)
+                              executor=executor, **kwargs)
     if name == "cyclex":
         return CyclexSystem(plan, os.path.join(workdir, "cyclex"),
                             task.program_alpha, task.program_beta,

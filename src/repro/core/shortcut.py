@@ -23,7 +23,6 @@ ones that need extraction — can fan out across the runtime's workers:
 from __future__ import annotations
 
 import os
-import time
 from typing import Dict, List, Optional, Tuple
 
 from ..corpus.snapshot import Snapshot
@@ -31,23 +30,11 @@ from ..plan.compile import CompiledPlan
 from ..reuse.engine import SnapshotRunResult, materialize_rows
 from ..reuse.files import ReuseFileReader, ReuseFileWriter, encode_fields
 from ..runtime.executor import Executor, SerialExecutor
-from ..runtime.metrics import build_metrics
-from ..runtime.scheduler import PageBatch, PageScheduler
+from ..runtime.scheduler import PageScheduler
+from ..runtime.split import SplitConfig
 from ..text.span import Span
 from ..timing import COPY, IO, Timer, Timings
-from .noreuse import run_page_plain
-
-
-def _shortcut_batch_worker(plan: CompiledPlan, batch: PageBatch
-                           ) -> Tuple[List[Dict[str, List[dict]]],
-                                      Dict[str, float]]:
-    """Extract one batch of changed pages from scratch."""
-    timings = Timings()
-    timer = Timer(timings)
-    out: List[Dict[str, List[dict]]] = []
-    for page in batch:
-        out.append(run_page_plain(plan, page, timer))
-    return out, timings.parts
+from .noreuse import run_scratch
 
 
 class ShortcutSystem:
@@ -57,11 +44,13 @@ class ShortcutSystem:
 
     def __init__(self, plan: CompiledPlan, workdir: str,
                  executor: Optional[Executor] = None,
-                 scheduler: Optional[PageScheduler] = None) -> None:
+                 scheduler: Optional[PageScheduler] = None,
+                 split: Optional[SplitConfig] = None) -> None:
         self.plan = plan
         self.workdir = workdir
         self.executor = executor if executor is not None else SerialExecutor()
         self.scheduler = scheduler if scheduler is not None else PageScheduler()
+        self.split = split if split is not None else SplitConfig()
         os.makedirs(workdir, exist_ok=True)
         self._prev_dir: Optional[str] = None
         self._prev_digests: Dict[str, str] = {}
@@ -90,9 +79,7 @@ class ShortcutSystem:
         results: Dict[str, list] = {rel: [] for rel in relations}
         digests: Dict[str, str] = {}
         pages = snapshot.canonical_pages()
-        wall_seconds = 0.0
-        batches: List[PageBatch] = []
-        timed: List[Tuple[float, object]] = []
+        outcome = None
         try:
             with timer.measure_total():
                 # Phase 1: classify pages; copy results for identical
@@ -124,18 +111,13 @@ class ShortcutSystem:
                                 with timer.measure(IO):
                                     reader.read_page_outputs(page.did)
                         fresh_pages.append(page)
-                # Phase 2: changed pages fan out across the runtime.
-                batches = self.scheduler.plan(fresh_pages,
-                                              self.executor.jobs)
-                wall_start = time.perf_counter()
-                timed = self.executor.map_batches(_shortcut_batch_worker,
-                                                  self.plan, batches)
-                wall_seconds = time.perf_counter() - wall_start
-                for batch, (_, (batch_rows, parts)) in zip(batches, timed):
-                    for page, page_rows in zip(batch, batch_rows):
-                        page_rows_by_did[page.did] = page_rows
-                    for category, seconds in parts.items():
-                        timings.add(category, seconds)
+                # Phase 2: changed pages fan out across the runtime
+                # (LPT batches + sub-page splits + shared-memory text).
+                outcome = run_scratch(self.plan, fresh_pages,
+                                      self.executor, self.scheduler,
+                                      self.split, timer,
+                                      materialize=False)
+                page_rows_by_did.update(outcome.rows_by_did)
                 # Phase 3: record results in canonical page order so the
                 # result files are byte-identical to a serial run.
                 for page in pages:
@@ -151,9 +133,7 @@ class ShortcutSystem:
                 writer.close()
             for reader in readers.values():
                 reader.close()
-        timings.runtime = build_metrics(
-            self.executor.name, self.executor.jobs, wall_seconds,
-            batches, [s for s, _ in timed])
+        timings.runtime = outcome.metrics if outcome is not None else None
         self._prev_digests = digests
         self._prev_dir = out_dir
         self._snapshot_serial += 1

@@ -65,11 +65,20 @@ from ..plan.units import IEUnit, units_by_top
 from ..runtime.capture import (
     BufferedCaptureSink,
     DirectCaptureSink,
+    PageCapture,
     replay_captures,
 )
 from ..runtime.executor import Executor
-from ..runtime.metrics import build_metrics
+from ..runtime.metrics import BatchMetric, build_metrics
 from ..runtime.scheduler import PageScheduler
+from ..runtime.shm import build_arena
+from ..runtime.split import (
+    PagePart,
+    PartPoisoned,
+    SplitConfig,
+    part_extensions,
+    plan_parts,
+)
 from ..text.document import Page
 from ..text.regions import MatchSegment
 from ..text.span import Span
@@ -203,6 +212,7 @@ class PageEvaluator:
         # fresh per-worker cache, thread workers share the engine's.
         self.match_cache: Optional[CrossSnapshotMatchCache] = None
         self._unit_of_top = units_by_top(units)
+        self._unit_by_uid = {u.uid: u for u in units}
         self._identity_safe = self._compute_identity_safe()
 
     def _compute_identity_safe(self) -> bool:
@@ -229,10 +239,21 @@ class PageEvaluator:
         self.__dict__.update(state)
         self.match_cache = None
         self._unit_of_top = units_by_top(self.units)  # type: ignore[arg-type]
+        self._unit_by_uid = {u.uid: u for u in self.units}
         self._identity_safe = self._compute_identity_safe()
 
     def uids(self) -> List[str]:
         return [u.uid for u in self.units]
+
+    def unit(self, uid: str) -> IEUnit:
+        return self._unit_by_uid[uid]
+
+    def frontier_units(self) -> List[IEUnit]:
+        """Units whose input is the raw page scan — the only units a
+        sub-page split may precompute (a σ between scan and IE, or a
+        producing unit below, would change the input region)."""
+        return [u for u in self.units
+                if isinstance(u.ie_node.child, ScanNode)]
 
     # -- per-page evaluation ----------------------------------------------
 
@@ -240,7 +261,9 @@ class PageEvaluator:
                  prev_capture: PrevCapture, sink,
                  stats: Dict[str, UnitRunStats], timer: Timer,
                  cache: Optional[MatchCache] = None,
-                 fp_stats: Optional[FastPathStats] = None
+                 fp_stats: Optional[FastPathStats] = None,
+                 precomputed: Optional[
+                     Dict[str, List[Dict[str, object]]]] = None
                  ) -> Dict[str, List[TupleRow]]:
         cache = cache if cache is not None else MatchCache()
         fp_stats = fp_stats if fp_stats is not None else FastPathStats()
@@ -280,7 +303,13 @@ class PageEvaluator:
             if key in node_memo:
                 return node_memo[key]
             unit = self._unit_of_top.get(key)
-            if unit is not None:
+            if unit is not None and precomputed is not None \
+                    and unit.uid in precomputed:
+                child_rows = evaluate(unit.ie_node.child)
+                rows = self._apply_precomputed(
+                    unit, child_rows, page, precomputed[unit.uid],
+                    sink, stats[unit.uid], timer)
+            elif unit is not None:
                 child_rows = evaluate(unit.ie_node.child)
                 prev_inputs, prev_outputs = prev_capture.get(
                     unit.uid, ([], {}))
@@ -499,6 +528,49 @@ class PageEvaluator:
             _inv.check_rows_in_page(out_rows, page, unit=unit.uid)
         return out_rows
 
+    def _apply_precomputed(self, unit: IEUnit,
+                           input_rows: List[TupleRow], page: Page,
+                           extensions: List[Dict[str, object]], sink,
+                           unit_stats: UnitRunStats, timer: Timer
+                           ) -> List[TupleRow]:
+        """Emit split-precomputed extensions for a frontier unit.
+
+        Mirrors :meth:`_run_unit`'s from-scratch branch byte-for-byte
+        (same sink calls, same counters) with the extraction itself
+        replaced by the merged part results — extraction time was
+        already spent in the part workers. Only valid for frontier
+        units (single scan input row) on pages the parallel driver
+        verified run from scratch.
+        """
+        assert len(input_rows) == 1, \
+            f"unit {unit.uid}: precomputed injection needs the single " \
+            f"scan row, got {len(input_rows)}"
+        row = input_rows[0]
+        region = row[unit.in_var]
+        if not isinstance(region, Span):
+            raise TypeError(f"unit {unit.uid}: input {unit.in_var!r} "
+                            "is not a span")
+        unit_stats.input_tuples += 1
+        unit_stats.input_chars += len(region)
+        with timer.measure(IO):
+            tid = sink.append_input(unit.uid, page.did, region.start,
+                                    region.end, "")
+        unit_stats.extracted_chars += len(region)
+        unit_stats.output_tuples += len(extensions)
+        with timer.measure(IO):
+            for ext in extensions:
+                sink.append_output(unit.uid, page.did, tid,
+                                   encode_fields(ext))
+        out_rows: List[TupleRow] = []
+        for ext in extensions:
+            if unit.projects_away_input:
+                out_rows.append(dict(ext))
+            else:
+                out_rows.append({**row, **ext})
+        if _inv.ENABLED:
+            _inv.check_rows_in_page(out_rows, page, unit=unit.uid)
+        return out_rows
+
     @staticmethod
     def _identity_candidate(matcher, matcher_name: str, min_length: int,
                             region: Span,
@@ -546,24 +618,35 @@ class PageEvaluator:
         return None
 
 
-def _engine_batch_worker(evaluator: PageEvaluator, payload):
-    """Process one page batch in a (possibly remote) worker.
+def _engine_work_worker(state, item):
+    """Process one work item in a (possibly remote) worker.
 
-    ``payload`` is ``(pairs, prev_slices)`` where ``pairs`` is the
-    batch's ``(page, q_page)`` sequence in canonical order and
-    ``prev_slices`` maps ``uid -> q_did -> (inputs, outputs)`` for
-    exactly the previous pages this batch recycles from.
+    ``state`` is ``(evaluator, arena_handle)`` — the evaluator is
+    installed once per worker by the pool initializer and the arena
+    handle carries page text by reference (shared memory for the
+    process backend, plain references otherwise). Two item kinds:
 
-    Returns materialized rows *per page* (canonical page order within
-    the batch; the parent concatenates them back into per-relation
-    order and, when asked, keeps the per-page split for the serving
-    layer's delta-apply), the buffered page captures, per-unit stats,
-    the worker's timing parts, and its fast-path counters.
+    * ``("pages", metas, prev_slices)`` — a batch of whole pages.
+      ``metas`` is ``(did, url, q_did, q_url)`` per page in canonical
+      order (texts come from the arena) and ``prev_slices`` maps
+      ``uid -> q_did -> (inputs, outputs)`` for exactly the previous
+      pages this batch recycles from. Returns materialized rows per
+      page, the buffered page captures, per-unit stats, timing parts,
+      and fast-path counters.
+    * ``("part", part, uids)`` — one sub-page split part. Runs each
+      frontier unit's extractor over the part's (α, β)-widened chunk
+      and returns the owned post-absorption extensions per unit; a
+      unit whose extractor emits a span-less extraction is reported
+      poisoned instead (the parent redoes it whole-page).
     """
-    pairs, prev_slices = payload
+    evaluator, arena = state
+    kind = item[0]
+    if kind == "part":
+        return _part_work(evaluator, arena, item[1], item[2])
+    _, metas, prev_slices = item
     # Process workers arrive with match_cache dropped by the pickle
     # whitelist: give each worker its own cross-snapshot cache (hits
-    # accumulate across the batches a worker processes; counters merge
+    # accumulate across the items a worker processes; counters merge
     # through fp_stats). Thread workers share the engine's evaluator,
     # whose cache is already attached and thread-safe.
     if (getattr(evaluator, "match_cache", None) is None
@@ -577,7 +660,10 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
     stats = {uid: UnitRunStats() for uid in uids}
     fp_stats = FastPathStats()
     page_rel_rows: List[Tuple[str, Dict[str, List[Tuple]]]] = []
-    for page, q_page in pairs:
+    for did, url, q_did, q_url in metas:
+        page = Page(did, url, arena.text("c:" + did))
+        q_page = (Page(q_did, q_url, arena.text("q:" + q_did))
+                  if q_did is not None else None)
         sink.begin_page(page.did)
         prev_capture: PrevCapture = {}
         if q_page is not None:
@@ -600,7 +686,34 @@ def _engine_batch_worker(evaluator: PageEvaluator, payload):
         page_rel_rows.append((page.did, {
             rel: materialize_rows(rows, page.text)
             for rel, rows in page_rows.items()}))
-    return page_rel_rows, sink.pages, stats, timings.parts, fp_stats
+    return ("pages", page_rel_rows, sink.pages, stats, timings.parts,
+            fp_stats)
+
+
+def _part_work(evaluator: PageEvaluator, arena, part: PagePart,
+               uids: Sequence[str]):
+    """Extract one split part for the given frontier units."""
+    text = arena.text("c:" + part.did)
+    timings = Timings()
+    timer = Timer(timings)
+    ctx = EvalContext(text, part.did)
+    exts: Dict[str, List[Dict[str, object]]] = {}
+    poisoned: List[str] = []
+    for uid in uids:
+        unit = evaluator.unit(uid)
+        try:
+            with timer.measure(EXTRACT):
+                raw = part_extensions(unit.ie_node, text, part)
+        except PartPoisoned:
+            poisoned.append(uid)
+            continue
+        kept = []
+        for fields in raw:
+            post = unit.apply_absorbed(fields, ctx)
+            if post is not None:
+                kept.append(post)
+        exts[uid] = kept
+    return ("part", part.did, part.index, exts, poisoned, timings.parts)
 
 
 class ReuseEngine:
@@ -612,7 +725,8 @@ class ReuseEngine:
                  executor: Optional[Executor] = None,
                  scheduler: Optional[PageScheduler] = None,
                  fastpath: Optional[FastPathConfig] = None,
-                 match_cache: Optional[CrossSnapshotMatchCache] = None
+                 match_cache: Optional[CrossSnapshotMatchCache] = None,
+                 split: Optional[SplitConfig] = None
                  ) -> None:
         self.plan = plan
         self.units = units
@@ -620,6 +734,7 @@ class ReuseEngine:
         self.scope = scope if scope is not None else SameUrlScope()
         self.executor = executor
         self.scheduler = scheduler if scheduler is not None else PageScheduler()
+        self.split = split if split is not None else SplitConfig()
         self.fastpath = FastPathConfig.from_flag(fastpath)
         # The cross-snapshot match cache outlives this engine: callers
         # that rebuild an engine per snapshot (DelexSystem, serve
@@ -865,6 +980,7 @@ class ReuseEngine:
                           Dict[str, Dict[str, List[Tuple]]]] = None
                       ) -> int:
         assert self.executor is not None
+        jobs = self.executor.jobs
         # Pair pages in canonical order in the parent so stateful
         # scopes (fingerprint claims) behave exactly as in a serial run.
         pairs = [(page, self.scope.pair_for(page)) for page in pages]
@@ -878,42 +994,212 @@ class ReuseEngine:
                                 load_reuse_file(o_path, "O"))
                           for uid, (i_path, o_path)
                           in self._capture_paths(prev_dir).items()}
-        batches = self.scheduler.plan(list(pages), self.executor.jobs)
+
+        # -- split planning: which pages become sub-page parts --------
+        split_parts = self._plan_splits(pairs, memory, jobs)
+        frontier_uids = tuple(u.uid for u in self.evaluator
+                              .frontier_units())
+
+        # -- arena: page text travels once, not per payload -----------
+        texts: Dict[str, str] = {}
+        for page, q in pairs:
+            texts["c:" + page.did] = page.text
+            if q is not None:
+                texts["q:" + q.did] = q.text
+        arena = build_arena(texts, self.executor.name)
+
+        whole_pages = [p for p in pages if p.did not in split_parts]
+        batches = self.scheduler.plan(whole_pages, jobs)
         by_did = {page.did: q for page, q in pairs}
-        payloads = []
+        payloads: List[tuple] = []
+        costs: List[float] = []
         for batch in batches:
-            batch_pairs = tuple((page, by_did[page.did])
-                                for page in batch.pages)
-            q_dids = {q.did for _, q in batch_pairs if q is not None}
+            metas = tuple(
+                (page.did, page.url,
+                 by_did[page.did].did
+                 if by_did[page.did] is not None else None,
+                 by_did[page.did].url
+                 if by_did[page.did] is not None else None)
+                for page in batch.pages)
+            q_dids = {q.did for page in batch.pages
+                      for q in (by_did[page.did],) if q is not None}
             slices = {
                 uid: {did: (mem_i.get(did, []), mem_o.get(did, []))
                       for did in q_dids
                       if did in mem_i or did in mem_o}
                 for uid, (mem_i, mem_o) in memory.items()}
-            payloads.append((batch_pairs, slices))
+            payloads.append(("pages", metas, slices))
+            costs.append(1 + batch.chars)
+        max_alpha = max((u.alpha for u in self.evaluator
+                         .frontier_units()), default=0)
+        max_beta = max((u.beta for u in self.evaluator
+                        .frontier_units()), default=0)
+        for did in sorted(split_parts):
+            for part in split_parts[did]:
+                payloads.append(("part", part, frontier_uids))
+                costs.append((part.hi - part.lo)
+                             + max_alpha + 2 * max_beta)
+
         wall_start = time.perf_counter()
-        timed = self.executor.map_batches(_engine_batch_worker,
-                                          self.evaluator, payloads)
-        wall_seconds = time.perf_counter() - wall_start
-        captures = []
-        for seconds, (page_rel_rows, page_caps, worker_stats, parts,
-                      worker_fp) in timed:
-            for did, rel_rows in page_rel_rows:
+        try:
+            work = self.executor.run_work(_engine_work_worker,
+                                          (self.evaluator, arena.handle),
+                                          payloads, costs)
+            wall_seconds = time.perf_counter() - wall_start
+
+            # -- merge: key everything by page id (LPT batches are not
+            # contiguous, so batch-order concatenation is not canonical)
+            rel_rows_by_did: Dict[str, Dict[str, List[Tuple]]] = {}
+            capture_by_did: Dict[str, PageCapture] = {}
+            part_exts: Dict[str, Dict[int, Dict[str, list]]] = {}
+            part_poison: Dict[str, set] = {}
+            batch_seconds: List[float] = []
+            extra_batches: List[BatchMetric] = []
+            for (seconds, value), cost in zip(work.timed, costs):
+                if value[0] == "pages":
+                    (_, page_rel_rows, page_caps, worker_stats, parts,
+                     worker_fp) = value
+                    batch_seconds.append(seconds)
+                    for did, rel_rows in page_rel_rows:
+                        rel_rows_by_did[did] = rel_rows
+                    for cap in page_caps:
+                        capture_by_did[cap.did] = cap
+                    for uid, ws in worker_stats.items():
+                        stats[uid].merge(ws)
+                    for category, secs in parts.items():
+                        timer.timings.add(category, secs)
+                    fp_stats.merge(worker_fp)
+                else:
+                    _, did, index, exts, poisoned, parts = value
+                    part_exts.setdefault(did, {})[index] = exts
+                    part_poison.setdefault(did, set()).update(poisoned)
+                    for category, secs in parts.items():
+                        timer.timings.add(category, secs)
+                    extra_batches.append(BatchMetric(
+                        index=index, pages=0, chars=int(cost),
+                        seconds=seconds, kind="part"))
+
+            # -- assembly: re-run split pages in the parent with the
+            # frontier extractions precomputed; chained units and
+            # captures run here, in canonical order.
+            pair_by_did = {page.did: (page, q) for page, q in pairs}
+            self._assemble_split_pages(
+                split_parts, part_exts, part_poison, frontier_uids,
+                pair_by_did, memory, rel_rows_by_did, capture_by_did,
+                stats, timer, fp_stats)
+
+            for page in pages:
+                rel_rows = rel_rows_by_did[page.did]
                 if page_rows_out is not None:
-                    page_rows_out[did] = rel_rows
+                    page_rows_out[page.did] = rel_rows
                 for rel, rows in rel_rows.items():
                     results[rel].extend(rows)
-            captures.extend(page_caps)
-            for uid, ws in worker_stats.items():
-                stats[uid].merge(ws)
-            for category, secs in parts.items():
-                timer.timings.add(category, secs)
-            fp_stats.merge(worker_fp)
-        with timer.measure(IO):
-            replay_captures(captures, writers)
+            with timer.measure(IO):
+                replay_captures(
+                    [capture_by_did[p.did] for p in pages], writers)
+        finally:
+            arena.close()
         timer.timings.runtime = build_metrics(
-            self.executor.name, self.executor.jobs,
+            self.executor.name, jobs,
             wall_seconds=wall_seconds, batches=batches,
-            batch_seconds=[s for s, _ in timed],
-            merge_with=timer.timings.runtime)
+            batch_seconds=batch_seconds,
+            merge_with=timer.timings.runtime,
+            extra_batches=extra_batches, steals=work.steals,
+            split_pages=len(split_parts),
+            split_parts=sum(len(v) for v in split_parts.values()),
+            shared_text=arena.shared, slot_busy=work.slot_busy)
         return pages_with_prev
+
+    def _plan_splits(self, pairs, memory, jobs
+                     ) -> Dict[str, List[PagePart]]:
+        """Pages large enough to split, with their owned parts.
+
+        A page is eligible only when every frontier unit runs from
+        scratch on it — the same condition :meth:`PageEvaluator
+        ._run_unit` uses to skip the reuse machinery — because part
+        workers extract blindly; a unit that would recycle must see
+        the whole page.
+        """
+        frontier = self.evaluator.frontier_units()
+        if not self.split.enabled or not frontier or jobs <= 1:
+            return {}
+        total_chars = sum(len(p.text) for p, _ in pairs)
+        max_alpha = max(u.alpha for u in frontier)
+        max_beta = max(u.beta for u in frontier)
+        out: Dict[str, List[PagePart]] = {}
+        for page, q in pairs:
+            if not self.split.should_split(len(page.text), total_chars,
+                                           jobs):
+                continue
+            if not self._frontier_from_scratch(q, memory, frontier):
+                continue
+            parts = plan_parts(page.did, len(page.text), jobs,
+                               self.split, max_alpha, max_beta)
+            if len(parts) > 1:
+                out[page.did] = parts
+        return out
+
+    def _frontier_from_scratch(self, q_page: Optional[Page], memory,
+                               frontier: List[IEUnit]) -> bool:
+        if q_page is None:
+            return True
+        for unit in frontier:
+            if self.assignment.of(unit) == DN_NAME:
+                continue
+            mem = memory.get(unit.uid)
+            if mem is not None and mem[0].get(q_page.did):
+                return False
+        return True
+
+    def _assemble_split_pages(self, split_parts, part_exts,
+                              part_poison, frontier_uids, pair_by_did,
+                              memory, rel_rows_by_did, capture_by_did,
+                              stats, timer, fp_stats) -> None:
+        """Finish split pages in the parent, canonical order.
+
+        Concatenating each unit's part extensions in part order equals
+        the serial whole-page extraction sequence (ownership is a
+        stable partition of it); the page then re-runs through
+        :meth:`PageEvaluator.run_page` with those units precomputed,
+        which replays the capture calls and evaluates chained units
+        and relational operators exactly as a serial run would. A
+        poisoned or incomplete unit is simply left out of
+        ``precomputed`` and extracts whole-page here — always correct,
+        just not parallel.
+        """
+        uids = self.evaluator.uids()
+        for did in sorted(split_parts):
+            parts = split_parts[did]
+            by_index = part_exts.get(did, {})
+            poisoned = part_poison.get(did, set())
+            merged: Dict[str, List[Dict[str, object]]] = {}
+            for uid in frontier_uids:
+                if uid in poisoned:
+                    continue
+                if any(p.index not in by_index
+                       or uid not in by_index[p.index]
+                       for p in parts):
+                    continue
+                merged[uid] = [ext for p in parts
+                               for ext in by_index[p.index][uid]]
+            page, q_page = pair_by_did[did]
+            prev_capture: PrevCapture = {}
+            if q_page is not None:
+                for uid, (mem_i, mem_o) in memory.items():
+                    prev_capture[uid] = (
+                        mem_i.get(q_page.did, []),
+                        group_outputs_by_input(
+                            mem_o.get(q_page.did, [])))
+            sink = BufferedCaptureSink(uids)
+            sink.begin_page(page.did)
+            with (_otrace.span("page", cat="page", did=page.did,
+                               paired=q_page is not None, split=True)
+                  if _otrace.ENABLED else _otrace.NULL):
+                page_rows = self.evaluator.run_page(
+                    page, q_page, prev_capture, sink, stats, timer,
+                    cache=MatchCache(), fp_stats=fp_stats,
+                    precomputed=merged)
+            rel_rows_by_did[did] = {
+                rel: materialize_rows(rows, page.text)
+                for rel, rows in page_rows.items()}
+            capture_by_did[did] = sink.pages[0]

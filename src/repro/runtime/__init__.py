@@ -7,31 +7,42 @@ parallel. This package factors the "walk the pages" loop out of the
 four systems into a shared, pluggable runtime:
 
 * :mod:`~repro.runtime.executor` — the :class:`Executor` interface
-  with serial, thread-pool, and process-pool backends plus an
-  auto-chooser keyed on blackbox cost;
+  with serial, thread-pool, and process-pool backends, a work-stealing
+  :meth:`~Executor.run_work` loop, and an auto-chooser keyed on
+  blackbox cost *and* the machine's CPU count;
 * :mod:`~repro.runtime.scheduler` — :class:`PageScheduler`, which
-  cuts the canonical page order into contiguous, size-balanced
-  batches so a deterministic merge is a plain concatenation;
+  packs pages into size-balanced batches largest-first (LPT), so the
+  heaviest page can never strand alone at the schedule's tail;
+* :mod:`~repro.runtime.split` — split-correct sub-page work items:
+  pages that dominate a snapshot are cut at (α, β)-safe boundaries
+  into :class:`PagePart`\\ s whose merged output is byte-identical to
+  a whole-page run;
+* :mod:`~repro.runtime.shm` — the shared-memory text arena: process
+  workers attach one :mod:`multiprocessing.shared_memory` segment and
+  work items carry page ids, not pickled text;
 * :mod:`~repro.runtime.capture` — per-worker capture buffers and the
   deterministic replay that merges them into the snapshot's reuse
   files **byte-identically** to a serial run;
-* :mod:`~repro.runtime.metrics` — lightweight per-batch wall time,
-  worker utilization, and pages/sec accounting surfaced through
-  :mod:`repro.timing`.
+* :mod:`~repro.runtime.metrics` — per-item wall time, worker
+  utilization, steal/split counts, and pages/sec accounting surfaced
+  through :mod:`repro.timing`.
 
 Determinism contract: for any executor backend and job count, a
 system must produce (1) identical canonical results and (2)
-byte-identical reuse/capture files compared to a serial run. The
-scheduler preserves canonical page order across the batch boundary
-and the capture replay reassigns tuple ids exactly as a serial writer
-would, so the next snapshot's recycling is oblivious to how the
-previous run was parallelized.
+byte-identical reuse/capture files compared to a serial run. All
+merges are keyed by canonical page id (LPT batches interleave the
+page order), split parts concatenate in part order (ownership by
+extent start is a stable partition of the serial sequence), and the
+capture replay reassigns tuple ids exactly as a serial writer would,
+so the next snapshot's recycling is oblivious to how the previous
+run was parallelized.
 """
 
 from .capture import (
     BufferedCaptureSink,
     DirectCaptureSink,
     PageCapture,
+    ReplayStats,
     replay_captures,
 )
 from .executor import (
@@ -41,11 +52,27 @@ from .executor import (
     ProcessPoolExecutor,
     SerialExecutor,
     ThreadPoolExecutor,
+    WorkResult,
     choose_backend,
     make_executor,
 )
 from .metrics import BatchMetric, RuntimeMetrics, build_metrics
-from .scheduler import PageBatch, PageScheduler, merge_batch_lists
+from .scheduler import PageBatch, PageScheduler, merge_batch_lists, pack_lpt
+from .shm import (
+    InlineArenaHandle,
+    LocalArenaHandle,
+    SharedArenaHandle,
+    TextArena,
+    build_arena,
+    shm_available,
+)
+from .split import (
+    PagePart,
+    PartPoisoned,
+    SplitConfig,
+    part_extensions,
+    plan_parts,
+)
 
 __all__ = [
     "AUTO_PROCESS_WORK_FACTOR",
@@ -54,16 +81,30 @@ __all__ = [
     "BufferedCaptureSink",
     "DirectCaptureSink",
     "Executor",
+    "InlineArenaHandle",
+    "LocalArenaHandle",
     "PageBatch",
     "PageCapture",
+    "PagePart",
     "PageScheduler",
+    "PartPoisoned",
     "ProcessPoolExecutor",
+    "ReplayStats",
     "RuntimeMetrics",
     "SerialExecutor",
+    "SharedArenaHandle",
+    "SplitConfig",
+    "TextArena",
     "ThreadPoolExecutor",
+    "WorkResult",
+    "build_arena",
     "build_metrics",
     "choose_backend",
     "make_executor",
     "merge_batch_lists",
+    "pack_lpt",
+    "part_extensions",
+    "plan_parts",
     "replay_captures",
+    "shm_available",
 ]

@@ -79,7 +79,14 @@ class DirectCaptureSink:
 
 
 class BufferedCaptureSink:
-    """Worker mode: record into per-page buffers for a later replay."""
+    """Worker mode: record into per-page buffers for a later replay.
+
+    Buffers are allocated lazily on the first record of a (page, uid)
+    pair — a page group that records nothing costs one
+    :class:`PageCapture` with two empty dicts, not ``2 × len(uids)``
+    list allocations (which used to dominate replay-merge cost for
+    mostly-recycled snapshots).
+    """
 
     def __init__(self, uids: Sequence[str]) -> None:
         self._uids = tuple(uids)
@@ -91,10 +98,7 @@ class BufferedCaptureSink:
         return self.pages[-1]
 
     def begin_page(self, did: str) -> None:
-        self.pages.append(PageCapture(
-            did=did,
-            inputs={uid: [] for uid in self._uids},
-            outputs={uid: [] for uid in self._uids}))
+        self.pages.append(PageCapture(did=did))
 
     def append_input(self, uid: str, did: str, s: int, e: int,
                      c: str = "") -> int:
@@ -102,8 +106,9 @@ class BufferedCaptureSink:
         if page.did != did:
             raise ValueError(f"page group {did!r} not current "
                              f"({page.did!r} is)")
-        page.inputs[uid].append((s, e, c))
-        return len(page.inputs[uid]) - 1
+        bucket = page.inputs.setdefault(uid, [])
+        bucket.append((s, e, c))
+        return len(bucket) - 1
 
     def append_output(self, uid: str, did: str, itid: int,
                       fields: Tuple) -> None:
@@ -111,24 +116,49 @@ class BufferedCaptureSink:
         if page.did != did:
             raise ValueError(f"page group {did!r} not current "
                              f"({page.did!r} is)")
-        page.outputs[uid].append((itid, fields))
+        page.outputs.setdefault(uid, []).append((itid, fields))
+
+
+@dataclass
+class ReplayStats:
+    """What one capture replay actually did.
+
+    ``skipped`` counts (page, uid) groups whose record loops were
+    skipped because the buffer was empty — the page header is still
+    written (the reuse-file format emits a ``@page`` line per page
+    unconditionally), but no per-record work or tid-map allocation
+    happens.
+    """
+
+    pages: int = 0
+    records: int = 0
+    skipped: int = 0
 
 
 def replay_captures(captures: Iterable[PageCapture],
-                    writers: Dict[str, WriterPair]) -> None:
+                    writers: Dict[str, WriterPair]) -> ReplayStats:
     """Merge buffered captures into the real reuse files.
 
-    ``captures`` must be in canonical page order (contiguous batches
-    concatenated in batch order provide exactly that). Tuple ids are
-    reassigned by the writers' own counters, reproducing the byte
-    stream a serial run would have written.
+    ``captures`` must be in canonical page order — with LPT batches
+    the caller assembles that order by page id before replaying.
+    Tuple ids are reassigned by the writers' own counters, reproducing
+    the byte stream a serial run would have written.
     """
+    stats = ReplayStats()
     for page in captures:
+        stats.pages += 1
         for uid, (writer_i, writer_o) in writers.items():
             writer_i.begin_page(page.did)
             writer_o.begin_page(page.did)
+            inputs = page.inputs.get(uid, ())
+            outputs = page.outputs.get(uid, ())
+            if not inputs and not outputs:
+                stats.skipped += 1
+                continue
             tid_map = [writer_i.append_input(page.did, s, e, c)
-                       for s, e, c in page.inputs.get(uid, ())]
-            for local_itid, fields in page.outputs.get(uid, ()):
+                       for s, e, c in inputs]
+            for local_itid, fields in outputs:
                 writer_o.append_output(page.did, tid_map[local_itid],
                                        fields)
+            stats.records += len(inputs) + len(outputs)
+    return stats

@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import concurrent.futures as _futures
 import multiprocessing
+import os
 import time
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..obs import trace as _otrace
@@ -74,6 +76,22 @@ def _timed_call(fn: Callable[[Any, Any], Any], state: Any,
     return (seconds, value)
 
 
+@dataclass
+class WorkResult:
+    """What :meth:`Executor.run_work` hands back.
+
+    ``timed`` pairs are in *submission order* regardless of the order
+    items actually completed in — callers merge exactly as they would
+    a ``map_batches`` result. ``steals`` counts items an idle worker
+    slot took from another slot's queue; ``slot_busy`` is the per-slot
+    worker-side busy seconds (one entry per slot actually used).
+    """
+
+    timed: List[Tuple[float, Any]]
+    steals: int = 0
+    slot_busy: List[float] = field(default_factory=list)
+
+
 class Executor(ABC):
     """Maps a worker function over batch payloads, order-preserving."""
 
@@ -91,8 +109,82 @@ class Executor(ABC):
         ``seconds`` is the worker-side wall time of that one call.
         """
 
+    def run_work(self, fn: Callable[[Any, Any], Any], state: Any,
+                 items: Sequence[Any],
+                 costs: Optional[Sequence[float]] = None) -> WorkResult:
+        """Run items with cost-aware placement and work stealing.
+
+        ``costs`` are monotone per-item cost estimates (characters);
+        pooled backends use them for largest-first initial placement.
+        The base implementation just wraps :meth:`map_batches` — the
+        serial backend has nothing to steal.
+        """
+        timed = self.map_batches(fn, state, items)
+        return WorkResult(timed=timed,
+                          slot_busy=[sum(s for s, _ in timed)])
+
     def describe(self) -> str:
         return f"{self.name}(jobs={self.jobs})"
+
+
+def _steal_run(submit: Callable[[Any], "_futures.Future"],
+               items: Sequence[Any], costs: Sequence[float],
+               slots: int) -> WorkResult:
+    """Shared work-stealing loop for the pooled backends.
+
+    LPT initial placement: items sorted by descending cost are dealt
+    greedily onto the currently-lightest slot's deque. Each slot keeps
+    one in-flight future; on completion it pops the front of its own
+    deque, or — when empty — steals from the *back* of the slot with
+    the most remaining estimated cost. Backs are the cheap end under
+    LPT placement, so a steal grabs the victim's smallest pending item
+    and perturbs its locality least.
+    """
+    from collections import deque
+
+    n = len(items)
+    order = sorted(range(n), key=lambda i: (-costs[i], i))
+    queues: List[deque] = [deque() for _ in range(slots)]
+    loads = [0.0] * slots
+    for i in order:
+        slot = min(range(slots), key=lambda s: (loads[s], s))
+        queues[slot].append(i)
+        loads[slot] += costs[i]
+    results: List[Optional[Tuple[float, Any]]] = [None] * n
+    slot_busy = [0.0] * slots
+    steals = 0
+    inflight: dict = {}  # future -> (slot, item index)
+
+    def dispatch(slot: int) -> bool:
+        nonlocal steals
+        if queues[slot]:
+            i = queues[slot].popleft()
+        else:
+            victim = max((s for s in range(slots) if queues[s]),
+                         key=lambda s: (loads[s], -s), default=None)
+            if victim is None:
+                return False
+            i = queues[victim].pop()
+            loads[victim] -= costs[i]
+            loads[slot] += costs[i]
+            steals += 1
+        inflight[submit(items[i])] = (slot, i)
+        return True
+
+    for slot in range(slots):
+        dispatch(slot)
+    while inflight:
+        done, _ = _futures.wait(list(inflight),
+                                return_when=_futures.FIRST_COMPLETED)
+        for fut in done:
+            slot, i = inflight.pop(fut)
+            seconds, value = fut.result()
+            results[i] = (seconds, value)
+            slot_busy[slot] += seconds
+            loads[slot] -= costs[i]
+            dispatch(slot)
+    return WorkResult(timed=[r for r in results if r is not None],
+                      steals=steals, slot_busy=slot_busy)
 
 
 class SerialExecutor(Executor):
@@ -125,6 +217,19 @@ class ThreadPoolExecutor(Executor):
             futures = [pool.submit(_timed_call, fn, state, item)
                        for item in items]
             return [f.result() for f in futures]
+
+    def run_work(self, fn: Callable[[Any, Any], Any], state: Any,
+                 items: Sequence[Any],
+                 costs: Optional[Sequence[float]] = None) -> WorkResult:
+        if not items:
+            return WorkResult(timed=[])
+        if costs is None:
+            costs = [1.0] * len(items)
+        workers = min(self.jobs, len(items))
+        with _futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            return _steal_run(
+                lambda item: pool.submit(_timed_call, fn, state, item),
+                items, costs, workers)
 
 
 class ProcessPoolExecutor(Executor):
@@ -159,17 +264,39 @@ class ProcessPoolExecutor(Executor):
                 initargs=(fn, state)) as pool:
             return list(pool.map(_run_installed, items))
 
+    def run_work(self, fn: Callable[[Any, Any], Any], state: Any,
+                 items: Sequence[Any],
+                 costs: Optional[Sequence[float]] = None) -> WorkResult:
+        if not items:
+            return WorkResult(timed=[])
+        if costs is None:
+            costs = [1.0] * len(items)
+        workers = min(self.jobs, len(items))
+        ctx = multiprocessing.get_context(self.start_method)
+        with _futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx,
+                initializer=_install_worker,
+                initargs=(fn, state)) as pool:
+            return _steal_run(
+                lambda item: pool.submit(_run_installed, item),
+                items, costs, workers)
 
-def choose_backend(jobs: int, cost_hint: float = 0.0) -> str:
-    """Pick a backend name from the job count and blackbox cost.
+
+def choose_backend(jobs: int, cost_hint: float = 0.0,
+                   cpu_count: Optional[int] = None) -> str:
+    """Pick a backend name from the job count, blackbox cost, and CPUs.
 
     ``cost_hint`` is the task's heaviest emulated ``work_factor`` (or
     any monotone proxy for per-character extraction cost). Serial when
-    nothing to parallelize; processes when extraction is CPU-heavy
-    enough to amortize fork+pickle; threads for cheap blackboxes where
-    only I/O overlap is worth having.
+    nothing to parallelize — including when the machine has a single
+    CPU, where a process pool only adds fork+pickle overhead (the
+    0.94x regression in BENCH_runtime.json); processes when extraction
+    is CPU-heavy enough to amortize fork+pickle; threads for cheap
+    blackboxes where only I/O overlap is worth having.
     """
-    if jobs <= 1:
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    if jobs <= 1 or cpu_count <= 1:
         return "serial"
     if cost_hint >= AUTO_PROCESS_WORK_FACTOR:
         return "process"
@@ -177,13 +304,14 @@ def choose_backend(jobs: int, cost_hint: float = 0.0) -> str:
 
 
 def make_executor(backend: str = "auto", jobs: int = 1,
-                  cost_hint: float = 0.0) -> Executor:
+                  cost_hint: float = 0.0,
+                  cpu_count: Optional[int] = None) -> Executor:
     """Build an executor; ``backend='auto'`` applies :func:`choose_backend`."""
     if backend not in BACKEND_NAMES:
         raise ValueError(f"unknown backend {backend!r}; choose from "
                          f"{BACKEND_NAMES}")
     if backend == "auto":
-        backend = choose_backend(jobs, cost_hint)
+        backend = choose_backend(jobs, cost_hint, cpu_count)
     if backend == "serial" or jobs <= 1:
         return SerialExecutor()
     if backend == "thread":

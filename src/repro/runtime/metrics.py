@@ -1,15 +1,15 @@
 """Runtime metrics: what did the parallel run actually do?
 
-Per-batch wall time, worker utilization, and pages/sec for one
-snapshot run. The systems attach a :class:`RuntimeMetrics` to their
-:class:`~repro.timing.Timings` (``timings.runtime``) so callers that
-already consume timing decompositions get runtime telemetry through
-the same object.
+Per-batch wall time, worker utilization, pages/sec, steal and split
+counts for one snapshot run. The systems attach a
+:class:`RuntimeMetrics` to their :class:`~repro.timing.Timings`
+(``timings.runtime``) so callers that already consume timing
+decompositions get runtime telemetry through the same object.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..obs.util import safe_rate
@@ -18,12 +18,18 @@ from .scheduler import PageBatch
 
 @dataclass(frozen=True)
 class BatchMetric:
-    """One batch's execution record."""
+    """One work item's execution record.
+
+    ``kind`` distinguishes whole-page batches (``"pages"``) from
+    sub-page split parts (``"part"``); part items report ``pages=0``
+    so page counts aren't inflated by splitting.
+    """
 
     index: int
     pages: int
     chars: int
     seconds: float
+    kind: str = "pages"
 
 
 @dataclass
@@ -34,10 +40,21 @@ class RuntimeMetrics:
     jobs: int
     wall_seconds: float
     batches: List[BatchMetric]
+    #: Work items an idle worker stole from another worker's queue.
+    steals: int = 0
+    #: Pages that were split into sub-page parts.
+    split_pages: int = 0
+    #: Total sub-page parts those pages produced.
+    split_parts: int = 0
+    #: Whether page text traveled via a shared-memory segment.
+    shared_text: bool = False
+    #: Per-worker-slot busy seconds (empty when unknown).
+    slot_busy: List[float] = field(default_factory=list)
 
     @property
     def pages(self) -> int:
-        return sum(b.pages for b in self.batches)
+        """Pages processed — split pages count once, via their parent."""
+        return sum(b.pages for b in self.batches) + self.split_pages
 
     @property
     def busy_seconds(self) -> float:
@@ -59,6 +76,12 @@ class RuntimeMetrics:
         return min(1.0, safe_rate(self.busy_seconds,
                                   self.jobs * self.wall_seconds))
 
+    @property
+    def worker_busy_fractions(self) -> List[float]:
+        """Per-slot busy fraction of wall time, each capped at 1.0."""
+        return [min(1.0, safe_rate(busy, self.wall_seconds))
+                for busy in self.slot_busy]
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (the shared ``to_dict`` contract)."""
         return {
@@ -70,31 +93,67 @@ class RuntimeMetrics:
             "busy_seconds": self.busy_seconds,
             "pages_per_second": self.pages_per_second,
             "worker_utilization": self.worker_utilization,
+            "steals": self.steals,
+            "split_pages": self.split_pages,
+            "split_parts": self.split_parts,
+            "shared_text": self.shared_text,
+            "worker_busy_fractions": self.worker_busy_fractions,
         }
 
     #: Backwards-compatible alias (pre-serve callers used ``as_dict``).
     as_dict = to_dict
 
     def describe(self) -> str:
+        extra = ""
+        if self.steals:
+            extra += f" steals={self.steals}"
+        if self.split_pages:
+            extra += f" splits={self.split_pages}/{self.split_parts}"
+        if self.shared_text:
+            extra += " shm"
         return (f"{self.backend} jobs={self.jobs} "
                 f"batches={len(self.batches)} "
                 f"pages/s={self.pages_per_second:.1f} "
-                f"util={self.worker_utilization:.0%}")
+                f"util={self.worker_utilization:.0%}" + extra)
 
 
 def build_metrics(backend: str, jobs: int, wall_seconds: float,
                   batches: Sequence[PageBatch],
                   batch_seconds: Sequence[float],
-                  merge_with: Optional[RuntimeMetrics] = None
-                  ) -> RuntimeMetrics:
-    """Assemble metrics from scheduler batches and measured times."""
+                  merge_with: Optional[RuntimeMetrics] = None,
+                  extra_batches: Sequence[BatchMetric] = (),
+                  steals: int = 0, split_pages: int = 0,
+                  split_parts: int = 0, shared_text: bool = False,
+                  slot_busy: Sequence[float] = ()) -> RuntimeMetrics:
+    """Assemble metrics from scheduler batches and measured times.
+
+    ``extra_batches`` carries non-PageBatch work items (sub-page
+    parts). ``merge_with`` folds in a prior phase's metrics: batch
+    records and wall time concatenate/add, counters add, and slot busy
+    vectors add elementwise when the slot counts match (same pool
+    shape) or concatenate otherwise.
+    """
     if len(batches) != len(batch_seconds):
         raise ValueError("one measured time per batch required")
     records = [BatchMetric(index=b.index, pages=len(b), chars=b.chars,
                            seconds=s)
                for b, s in zip(batches, batch_seconds)]
+    records.extend(extra_batches)
+    busy = list(slot_busy)
     if merge_with is not None:
         records = list(merge_with.batches) + records
         wall_seconds += merge_with.wall_seconds
+        steals += merge_with.steals
+        split_pages += merge_with.split_pages
+        split_parts += merge_with.split_parts
+        shared_text = shared_text or merge_with.shared_text
+        if merge_with.slot_busy:
+            if len(merge_with.slot_busy) == len(busy):
+                busy = [a + b for a, b in zip(merge_with.slot_busy, busy)]
+            else:
+                busy = list(merge_with.slot_busy) + busy
     return RuntimeMetrics(backend=backend, jobs=jobs,
-                          wall_seconds=wall_seconds, batches=records)
+                          wall_seconds=wall_seconds, batches=records,
+                          steals=steals, split_pages=split_pages,
+                          split_parts=split_parts,
+                          shared_text=shared_text, slot_busy=busy)

@@ -1,15 +1,27 @@
-"""Page scheduling: cut canonical page order into balanced batches.
+"""Page scheduling: pack the canonical page order into balanced batches.
 
-The scheduler partitions a page sequence into **contiguous** batches
-so that concatenating per-batch outputs in batch-index order restores
-the exact serial page order — the property that makes the capture
-merge deterministic (see :mod:`repro.runtime.capture`).
+The scheduler partitions a page sequence into size-balanced batches.
+Historically these were **contiguous** slices closed greedily at a
+fair-share target — which could place the single largest page *last*
+in a batch and make wall-clock equal the tail page. Batches are now
+packed **largest-first** (LPT greedy): pages sorted by descending
+weight are dealt onto the currently-lightest batch, which bounds the
+heaviest batch at (4/3 − 1/(3m)) × optimal and, more importantly,
+guarantees the largest page lands in a batch alone whenever that is
+the balanced choice.
 
-Batches are size-balanced by total page length (characters), the best
-cheap proxy for per-page IE cost: extraction, matching, and copy work
-all scale with region characters. A mild oversubscription factor
-(``batches_per_job``) creates more batches than workers so one
-unusually heavy batch doesn't serialize the tail of the run.
+The price of LPT is that batches are no longer contiguous slices of
+the canonical order, so per-batch outputs can no longer be merged by
+plain concatenation — the systems merge by canonical page id instead
+(see :mod:`repro.runtime.capture`). Pages *within* one batch stay in
+canonical order, so per-batch processing and capture buffers remain
+deterministic.
+
+Weights are total page length in characters — the best cheap proxy
+for per-page IE cost: extraction, matching, and copy work all scale
+with region characters. A mild oversubscription factor
+(``batches_per_job``) creates more batches than workers so the
+work-stealing executor has spare items to steal.
 """
 
 from __future__ import annotations
@@ -28,7 +40,7 @@ DEFAULT_BATCHES_PER_JOB = 4
 
 @dataclass(frozen=True)
 class PageBatch:
-    """A contiguous slice of the canonical page order."""
+    """A set of pages processed together, in canonical relative order."""
 
     index: int
     pages: Tuple[Page, ...]
@@ -44,8 +56,31 @@ class PageBatch:
         return iter(self.pages)
 
 
+def pack_lpt(weights: Sequence[float], n_bins: int
+             ) -> List[List[int]]:
+    """LPT greedy: deal indices, heaviest first, onto the lightest bin.
+
+    Returns per-bin index lists; indices within a bin are in original
+    order, and bins are ordered by their smallest index so downstream
+    numbering is deterministic. Empty bins are dropped.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    order = sorted(range(len(weights)),
+                   key=lambda i: (-weights[i], i))
+    bins: List[List[int]] = [[] for _ in range(n_bins)]
+    loads = [0.0] * n_bins
+    for i in order:
+        b = min(range(n_bins), key=lambda s: (loads[s], s))
+        bins[b].append(i)
+        loads[b] += weights[i]
+    packed = [sorted(b) for b in bins if b]
+    packed.sort(key=lambda b: b[0])
+    return packed
+
+
 class PageScheduler:
-    """Builds size-balanced, order-preserving page batches."""
+    """Builds size-balanced page batches via largest-first packing."""
 
     def __init__(self, batches_per_job: int = DEFAULT_BATCHES_PER_JOB) -> None:
         if batches_per_job < 1:
@@ -54,10 +89,11 @@ class PageScheduler:
 
     def plan(self, pages: Sequence[Page], jobs: int) -> List[PageBatch]:
         """Partition ``pages`` into at most ``jobs * batches_per_job``
-        contiguous batches with near-equal character totals.
+        batches with near-equal character totals.
 
-        Every page appears in exactly one batch; batch order equals
-        page order; no batch is empty.
+        Every page appears in exactly one batch; pages within a batch
+        are in canonical order; batches are ordered by the canonical
+        position of their first page; no batch is empty.
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -65,35 +101,23 @@ class PageScheduler:
             return []
         n_batches = min(len(pages), jobs * self.batches_per_job)
         # Weight 1 + len(text): even empty pages carry bookkeeping cost,
-        # and it keeps the partition defined for all-empty snapshots.
+        # and it keeps the packing defined for all-empty snapshots.
         weights = [1 + len(p.text) for p in pages]
-        total = sum(weights)
-        batches: List[PageBatch] = []
-        start = 0
-        acc = 0
-        for i, weight in enumerate(weights):
-            acc += weight
-            remaining_pages = len(pages) - (i + 1)
-            remaining_batches = n_batches - len(batches) - 1
-            # Close the current batch once it reaches its fair share,
-            # but never leave fewer pages than batches still to fill.
-            target = total * (len(batches) + 1) / n_batches
-            if (acc >= target and remaining_batches > 0) \
-                    or remaining_pages == remaining_batches:
-                batches.append(PageBatch(index=len(batches),
-                                         pages=tuple(pages[start:i + 1])))
-                start = i + 1
-            if len(batches) == n_batches - 1 and start < len(pages):
-                break
-        if start < len(pages):
-            batches.append(PageBatch(index=len(batches),
-                                     pages=tuple(pages[start:])))
+        packed = pack_lpt(weights, n_batches)
+        batches = [PageBatch(index=k,
+                             pages=tuple(pages[i] for i in group))
+                   for k, group in enumerate(packed)]
         assert sum(len(b) for b in batches) == len(pages)
         return batches
 
 
 def merge_batch_lists(per_batch: Sequence[List[T]]) -> List[T]:
-    """Concatenate per-batch lists in batch order (the canonical merge)."""
+    """Concatenate per-batch lists in batch order.
+
+    With LPT batches this is no longer the canonical page order —
+    callers that need canonical order must key by page id (all four
+    systems now do); this helper remains for order-insensitive merges.
+    """
     merged: List[T] = []
     for chunk in per_batch:
         merged.extend(chunk)

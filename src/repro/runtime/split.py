@@ -1,0 +1,141 @@
+"""Split-correct sub-page work items.
+
+Large pages serialize a parallel run: one worker grinds through the
+giant page while the rest sit idle. The split-correctness framework
+(Doleschal et al.; see PAPERS.md) says exactly when a document may be
+cut *within* a page without changing extractor output, and the (α, β)
+declarations every extractor already carries (Definitions 2–3 of the
+paper) supply the safe geometry:
+
+* **scope α** bounds every extraction's extent width (< α), and
+* **context β** bounds how far the decision to produce an extraction
+  can look beyond its extent.
+
+So if a part *owns* the half-open character range ``[lo, hi)`` of a
+page and extracts from the widened chunk
+``[max(0, lo − β), min(L, hi + α + β))``, then every extraction whose
+extent starts inside ``[lo, hi)`` is produced with its full β-context
+visible (or clipped at a true page boundary, which the serial run
+clips identically), and is therefore byte-for-byte the extraction the
+serial run produces. Keeping exactly the owned extractions in each
+part and concatenating parts in order reproduces the serial output:
+extractors emit extractions in nondecreasing extent-start order, so
+per-part ownership is a stable partition of the serial sequence.
+
+The one escape hatch: an extraction with no span fields has no extent
+and therefore no owner. Such a part is *poisoned* — the parent
+discards all part results for that unit and falls back to whole-page
+extraction, which is always correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..plan.operators import IENode
+
+
+class PartPoisoned(Exception):
+    """A part produced an extraction with no extent (no span fields).
+
+    Ownership is decided by extent start, so span-less extractions
+    cannot be attributed to a part; the parent must redo the whole
+    page serially for that unit.
+    """
+
+
+@dataclass(frozen=True)
+class PagePart:
+    """One owned slice ``[lo, hi)`` of a page's character range.
+
+    The chunk a unit actually extracts from depends on that unit's
+    (α, β) — different frontier units widen the same owned range by
+    different margins — so the part stores only the ownership geometry
+    and :meth:`chunk` computes the per-unit window.
+    """
+
+    did: str
+    index: int
+    n_parts: int
+    lo: int
+    hi: int
+    length: int  # full page length, for clipping
+
+    def chunk(self, alpha: int, beta: int) -> Tuple[int, int]:
+        """The widened window this part extracts from for a unit with
+        the given (α, β): every extraction starting in ``[lo, hi)``
+        fits inside it together with its β-context."""
+        return (max(0, self.lo - beta),
+                min(self.length, self.hi + alpha + beta))
+
+
+@dataclass(frozen=True)
+class SplitConfig:
+    """Knobs for when and how pages are split into parts.
+
+    A page is split only when it is both absolutely large
+    (``2 * min_part_chars``) and relatively dominant
+    (``threshold_factor`` times the fair per-worker share) — splitting
+    balanced corpora is pure margin overhead.
+    """
+
+    enabled: bool = True
+    min_part_chars: int = 512
+    threshold_factor: float = 1.25
+
+    def should_split(self, page_len: int, total_chars: int,
+                     jobs: int) -> bool:
+        if not self.enabled or jobs <= 1:
+            return False
+        fair_share = total_chars / max(1, jobs)
+        return page_len >= max(2 * self.min_part_chars,
+                               self.threshold_factor * fair_share)
+
+
+def plan_parts(did: str, length: int, jobs: int, config: SplitConfig,
+               alpha: int, beta: int) -> List[PagePart]:
+    """Cut one page into at most ``jobs`` owned parts.
+
+    ``alpha``/``beta`` are the maxima over the frontier units that
+    will extract from these parts; the part width floor
+    ``2 * (α + 2β)`` keeps the widened chunks from overlapping so much
+    that the margins dominate the owned text (overhead ≤ ~50%).
+    """
+    if length <= 0 or jobs <= 1:
+        return []
+    floor = max(config.min_part_chars, 2 * (alpha + 2 * beta))
+    n_parts = min(jobs, max(1, length // max(1, floor)))
+    if n_parts <= 1:
+        return []
+    cuts = [round(i * length / n_parts) for i in range(n_parts + 1)]
+    return [PagePart(did=did, index=i, n_parts=n_parts,
+                     lo=cuts[i], hi=cuts[i + 1], length=length)
+            for i in range(n_parts)]
+
+
+def part_extensions(ie_node: IENode, text: str,
+                    part: PagePart) -> List[Dict[str, object]]:
+    """Run one IE node over one part's chunk; return the extension
+    dicts (absolute offsets) for extractions the part owns.
+
+    Byte-identical to the slice of the serial whole-page run whose
+    extent starts fall in ``[part.lo, part.hi)``. Raises
+    :class:`PartPoisoned` on a span-less extraction.
+    """
+    extractor = ie_node.extractor
+    lo, hi = part.chunk(extractor.scope, extractor.context)
+    chunk_text = text[lo:hi]
+    from ..text.document import Span  # local import avoids a cycle
+    chunk_span = Span(part.did, lo, hi)
+    owned: List[Dict[str, object]] = []
+    for extraction in extractor.extract(chunk_text):
+        extent = extraction.extent()
+        if extent is None:
+            raise PartPoisoned(
+                f"{extractor.name} produced a span-less extraction; "
+                f"part {part.index} of {part.did} cannot own it")
+        abs_start = lo + extent[0]
+        if part.lo <= abs_start < part.hi:
+            owned.append(ie_node.extension_fields(extraction, chunk_span))
+    return owned

@@ -2,17 +2,22 @@
 
 The runtime's contract is that backend and worker count are pure
 performance knobs: for any executor, every system must produce the
-same canonical results AND byte-identical reuse files as a serial run.
+same canonical results AND byte-identical reuse files as a serial run
+— including when large pages are split into sub-page work items.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.corpus import dblife_corpus, wikipedia_corpus
+from repro.core.noreuse import scan_frontier
 from repro.core.runner import (
     canonical_results,
     make_system,
@@ -21,6 +26,7 @@ from repro.core.runner import (
     verify_serial_parallel,
 )
 from repro.extractors import make_task
+from repro.plan.compile import compile_program
 from repro.reuse.files import ReuseFileWriter, encode_fields
 from repro.runtime import (
     AUTO_PROCESS_WORK_FACTOR,
@@ -31,11 +37,16 @@ from repro.runtime import (
     ProcessPoolExecutor,
     RuntimeMetrics,
     SerialExecutor,
+    SplitConfig,
     ThreadPoolExecutor,
+    build_arena,
     build_metrics,
     choose_backend,
     make_executor,
     merge_batch_lists,
+    pack_lpt,
+    part_extensions,
+    plan_parts,
     replay_captures,
 )
 from repro.text.document import Page
@@ -55,22 +66,33 @@ class TestPageScheduler:
     def test_empty_input(self):
         assert PageScheduler().plan([], 4) == []
 
-    def test_every_page_exactly_once_in_order(self):
+    def test_every_page_exactly_once(self):
         pages = _pages([10, 0, 500, 30, 30, 900, 1, 1, 1, 250])
         batches = PageScheduler().plan(pages, 3)
         flat = [p for b in batches for p in b]
-        assert flat == pages  # order preserved, full coverage
+        assert sorted(p.did for p in flat) == sorted(p.did for p in pages)
         assert [b.index for b in batches] == list(range(len(batches)))
         assert all(len(b) > 0 for b in batches)
 
-    def test_batches_are_contiguous_slices(self):
-        pages = _pages([100] * 17)
-        batches = PageScheduler(batches_per_job=2).plan(pages, 4)
-        start = 0
-        for batch in batches:
-            assert tuple(pages[start:start + len(batch)]) == batch.pages
-            start += len(batch)
-        assert start == len(pages)
+    def test_largest_page_never_lands_last(self):
+        # LPT places the heaviest page first, so it can never end up
+        # alone at the tail of an otherwise-full schedule (the old
+        # contiguous splitter could, serializing the whole run on it).
+        pages = _pages([5000, 4000, 3000, 2000, 1000, 1000])
+        batches = PageScheduler(batches_per_job=1).plan(pages, 2)
+        total = sum(len(p.text) for p in pages)
+        assert len(batches) == 2
+        # The 5000-char page is in the first batch...
+        assert any(len(p.text) == 5000 for p in batches[0])
+        # ...and the makespan beats the contiguous split's 9000.
+        assert max(b.chars for b in batches) <= total // 2
+
+    def test_pack_lpt_covers_and_balances(self):
+        bins = pack_lpt([5000, 4000, 3000, 2000, 1000, 1000], 2)
+        assert sorted(i for b in bins for i in b) == list(range(6))
+        loads = [sum([5000, 4000, 3000, 2000, 1000, 1000][i]
+                     for i in b) for b in bins]
+        assert max(loads) == 8000
 
     def test_batch_count_capped_by_pages(self):
         pages = _pages([5, 5, 5])
@@ -101,7 +123,8 @@ class TestPageScheduler:
     def test_all_empty_pages_still_partition(self):
         pages = _pages([0] * 9)
         batches = PageScheduler(batches_per_job=1).plan(pages, 3)
-        assert [p for b in batches for p in b] == pages
+        flat = [p for b in batches for p in b]
+        assert sorted(p.did for p in flat) == sorted(p.did for p in pages)
         assert len(batches) == 3
 
     def test_rejects_bad_arguments(self):
@@ -158,18 +181,36 @@ class TestAutoChooser:
         assert isinstance(make_executor("auto", jobs=1), SerialExecutor)
 
     def test_threads_for_cheap_blackboxes(self):
-        assert choose_backend(4, cost_hint=0) == "thread"
-        ex = make_executor("auto", jobs=4, cost_hint=0)
+        assert choose_backend(4, cost_hint=0, cpu_count=4) == "thread"
+        ex = make_executor("auto", jobs=4, cost_hint=0, cpu_count=4)
         assert isinstance(ex, ThreadPoolExecutor)
 
     def test_processes_for_expensive_blackboxes(self):
         hint = AUTO_PROCESS_WORK_FACTOR
-        assert choose_backend(4, cost_hint=hint) == "process"
-        ex = make_executor("auto", jobs=4, cost_hint=hint)
+        assert choose_backend(4, cost_hint=hint, cpu_count=4) == "process"
+        ex = make_executor("auto", jobs=4, cost_hint=hint, cpu_count=4)
         assert isinstance(ex, ProcessPoolExecutor)
 
+    def test_serial_on_single_core_machine(self):
+        # Regression: the chooser used to pick the process backend on
+        # a 1-CPU machine, where fork + pickle overhead made "parallel"
+        # runs strictly slower than serial.
+        hint = AUTO_PROCESS_WORK_FACTOR
+        assert choose_backend(4, cost_hint=hint, cpu_count=1) == "serial"
+        assert choose_backend(4, cost_hint=0, cpu_count=1) == "serial"
+        ex = make_executor("auto", jobs=4, cost_hint=hint, cpu_count=1)
+        assert isinstance(ex, SerialExecutor)
+
+    def test_serial_on_single_core_by_default(self, monkeypatch):
+        # Same regression via the default os.cpu_count() probe.
+        import repro.runtime.executor as executor_module
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        assert choose_backend(4, cost_hint=64) == "serial"
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: None)
+        assert choose_backend(4, cost_hint=64) == "serial"
+
     def test_explicit_backend_wins(self):
-        ex = make_executor("process", jobs=2, cost_hint=0)
+        ex = make_executor("process", jobs=2, cost_hint=0, cpu_count=1)
         assert isinstance(ex, ProcessPoolExecutor)
 
     def test_unknown_backend(self):
@@ -181,8 +222,96 @@ class TestAutoChooser:
         light = make_task("chair", work_scale=0)
         assert task_cost_hint(heavy) > task_cost_hint(light) == 0.0
         assert resolve_executor(light, jobs=1) is None
-        assert isinstance(resolve_executor(light, jobs=2),
+        assert isinstance(resolve_executor(light, jobs=2, cpu_count=4),
                           ThreadPoolExecutor)
+
+
+# ---------------------------------------------------------------------------
+# Work-stealing run_work
+
+
+def _sleepy_worker(state, item):
+    kind, value = item
+    if kind == "slow":
+        time.sleep(0.2)
+    return state * value
+
+
+class TestRunWork:
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(),
+        ThreadPoolExecutor(jobs=3),
+        ProcessPoolExecutor(jobs=3),
+    ], ids=["serial", "thread", "process"])
+    def test_values_in_submission_order(self, executor):
+        items = [("fast", i) for i in range(10)]
+        result = executor.run_work(_sleepy_worker, 3, items,
+                                   costs=[float(i + 1) for i in range(10)])
+        assert [v for _, v in result.timed] == [3 * i for i in range(10)]
+        assert all(s >= 0.0 for s, _ in result.timed)
+        assert result.steals >= 0
+        assert all(b >= 0.0 for b in result.slot_busy)
+
+    def test_idle_worker_steals_from_stuck_one(self):
+        # Declared costs put a slow item and two fast ones on slot 0;
+        # slot 1 drains its own queue in microseconds and must steal
+        # slot 0's remaining items while the slow one blocks it.
+        items = [("slow", 0), ("fast", 1), ("fast", 2), ("fast", 3),
+                 ("fast", 4), ("fast", 5)]
+        costs = [5.0, 5.0, 1.0, 1.0, 1.0, 1.0]
+        executor = ThreadPoolExecutor(jobs=2)
+        result = executor.run_work(_sleepy_worker, 1, items, costs=costs)
+        assert [v for _, v in result.timed] == [0, 1, 2, 3, 4, 5]
+        assert result.steals >= 1
+        assert len(result.slot_busy) == 2
+
+    def test_empty_items(self):
+        result = ThreadPoolExecutor(jobs=2).run_work(
+            _sleepy_worker, 1, [], costs=[])
+        assert result.timed == []
+        assert result.steals == 0
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory text arena
+
+
+class TestTextArena:
+    TEXTS = {"c:d01": "alpha beta", "c:d02": "", "q:d01": "καλημέρα κόσμε"}
+
+    def test_local_arena_for_threads(self):
+        arena = build_arena(dict(self.TEXTS), "thread")
+        try:
+            assert not arena.shared
+            for key, text in self.TEXTS.items():
+                assert arena.handle.text(key) == text
+        finally:
+            arena.close()
+
+    def test_shared_arena_roundtrips_through_pickle(self):
+        import pickle
+
+        from repro.runtime import shm_available
+
+        if not shm_available():
+            pytest.skip("no shared memory on this platform")
+        arena = build_arena(dict(self.TEXTS), "process")
+        try:
+            assert arena.shared
+            handle = pickle.loads(pickle.dumps(arena.handle))
+            for key, text in self.TEXTS.items():
+                assert handle.text(key) == text
+                assert arena.handle.text(key) == text  # parent side too
+        finally:
+            arena.close()
+
+    def test_empty_arena(self):
+        arena = build_arena({}, "process")
+        try:
+            with pytest.raises(KeyError):
+                arena.handle.text("missing")
+        finally:
+            arena.close()
 
 
 # ---------------------------------------------------------------------------
@@ -255,6 +384,32 @@ class TestCaptureMerge:
         sink.begin_page("d02")
         assert sink.append_input("u1", "d02", 0, 1) == 0
 
+    def test_empty_pages_allocate_no_buffers(self):
+        # Regression: begin_page used to allocate one list per uid per
+        # page; on mostly-recycled snapshots those empty lists (and
+        # copying them through replay) dominated merge cost.
+        sink = BufferedCaptureSink(["u1", "u2", "u3"])
+        for i in range(5):
+            sink.begin_page(f"d{i:02d}")
+        assert all(p.inputs == {} and p.outputs == {} for p in sink.pages)
+
+    def test_replay_reports_skipped_empty_groups(self, tmp_path):
+        writers = {
+            uid: (ReuseFileWriter(str(tmp_path / f"{uid}.I")),
+                  ReuseFileWriter(str(tmp_path / f"{uid}.O")))
+            for uid in ("u1", "u2")}
+        sink = BufferedCaptureSink(["u1", "u2"])
+        _emit(sink, _capture_script())
+        stats = replay_captures(sink.pages, writers)
+        for wi, wo in writers.values():
+            wi.close()
+            wo.close()
+        assert stats.pages == 3
+        # d02/u1 and d03/u2 recorded nothing: their record loops are
+        # skipped but the @page headers still land in the files.
+        assert stats.skipped == 2
+        assert stats.records > 0
+
 
 # ---------------------------------------------------------------------------
 # Runtime metrics
@@ -288,6 +443,145 @@ class TestMetrics:
         runtime = result.timings.runtime
         assert runtime is not None
         assert runtime.backend == "thread" and runtime.jobs == 2
+        assert runtime.pages == len(snaps[0])
+
+
+# ---------------------------------------------------------------------------
+# Split-correct sub-page work items
+
+
+def _talk_frontier():
+    task = make_task("talk", work_scale=0)
+    plan = compile_program(task.program, task.registry)
+    return scan_frontier(plan)[0]
+
+
+_LINE_POOL = None
+
+
+def _line_pool():
+    """Lines from real dblife pages — text the talk extractor bites on."""
+    global _LINE_POOL
+    if _LINE_POOL is None:
+        snaps = list(dblife_corpus(n_pages=6, seed=13).snapshots(1))
+        lines = []
+        for page in snaps[0]:
+            lines.extend(line for line in page.text.split("\n") if line)
+        _LINE_POOL = lines[:200]
+    return _LINE_POOL
+
+
+class TestSplitPlanning:
+    @given(length=st.integers(min_value=0, max_value=200_000),
+           jobs=st.integers(min_value=1, max_value=16),
+           alpha=st.integers(min_value=0, max_value=20_000),
+           beta=st.integers(min_value=0, max_value=256))
+    @settings(max_examples=100, deadline=None)
+    def test_parts_partition_the_page(self, length, jobs, alpha, beta):
+        config = SplitConfig(min_part_chars=64)
+        parts = plan_parts("d", length, jobs, config, alpha, beta)
+        if not parts:
+            return
+        assert len(parts) >= 2
+        assert parts[0].lo == 0 and parts[-1].hi == length
+        for prev, part in zip(parts, parts[1:]):
+            assert prev.hi == part.lo  # contiguous, no gap, no overlap
+        for part in parts:
+            assert part.lo < part.hi
+            lo, hi = part.chunk(alpha, beta)
+            # The chunk sees the owned range plus full margins (or the
+            # true page boundary, which the serial run clips too).
+            assert lo == max(0, part.lo - beta)
+            assert hi == min(length, part.hi + alpha + beta)
+
+    def test_no_split_for_single_job_or_tiny_page(self):
+        config = SplitConfig()
+        assert plan_parts("d", 100_000, 1, config, 10, 1) == []
+        assert plan_parts("d", 100, 8, config, 10, 1) == []
+        assert not config.should_split(100, 1000, 4)
+        assert not SplitConfig(enabled=False).should_split(
+            10_000, 10_000, 4)
+
+
+class TestSplitExtraction:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_split_points_never_cut_extractions(self, data):
+        node = _talk_frontier()
+        pool = _line_pool()
+        picks = data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(pool) - 1),
+            min_size=30, max_size=90))
+        jobs = data.draw(st.integers(min_value=2, max_value=4))
+        text = "\n".join(pool[i] for i in picks)
+        extractor = node.extractor
+        config = SplitConfig(min_part_chars=64)
+        parts = plan_parts("d", len(text), jobs, config,
+                           extractor.scope, extractor.context)
+        if not parts:
+            return
+        serial = [(e.extent(), node.extension_fields(
+                       e, Span("d", 0, len(text))))
+                  for e in extractor.extract(text)]
+        # Every serial extraction is owned by exactly one part: no
+        # split point lands inside an extraction region.
+        for extent, _ in serial:
+            assert extent is not None
+            owners = [p for p in parts if p.lo <= extent[0] < p.hi]
+            assert len(owners) == 1
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_split_merge_is_identical_to_serial(self, data):
+        node = _talk_frontier()
+        pool = _line_pool()
+        picks = data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(pool) - 1),
+            min_size=30, max_size=90))
+        jobs = data.draw(st.integers(min_value=2, max_value=4))
+        text = "\n".join(pool[i] for i in picks)
+        extractor = node.extractor
+        parts = plan_parts("d", len(text), jobs,
+                           SplitConfig(min_part_chars=64),
+                           extractor.scope, extractor.context)
+        if not parts:
+            return
+        serial = [node.extension_fields(e, Span("d", 0, len(text)))
+                  for e in extractor.extract(text)]
+        merged = [ext for part in parts
+                  for ext in part_extensions(node, text, part)]
+        assert merged == serial
+
+
+class TestForcedSplitParity:
+    """End-to-end byte parity with splitting forced on every page."""
+
+    FORCE = SplitConfig(min_part_chars=64, threshold_factor=0.0)
+
+    @pytest.mark.parametrize("system_name",
+                             ["noreuse", "shortcut", "cyclex", "delex"])
+    def test_thread_jobs2_with_forced_splits(self, system_name, tmp_path):
+        task = make_task("talk", work_scale=0)
+        snaps = list(dblife_corpus(n_pages=8, seed=3).snapshots(2))
+        serial_dir = str(tmp_path / "serial")
+        parallel_dir = str(tmp_path / "parallel")
+        serial = _run_system(system_name, task, snaps, serial_dir)
+        parallel_sys = make_system(system_name, task, parallel_dir,
+                                   executor=ThreadPoolExecutor(jobs=2),
+                                   split=self.FORCE)
+        outputs, prev = [], None
+        runtime = None
+        for snap in snaps:
+            result = parallel_sys.process(snap, prev)
+            outputs.append(canonical_results(result))
+            runtime = runtime or result.timings.runtime
+            prev = snap
+        assert serial == outputs
+        assert _tree_digests(serial_dir) == _tree_digests(parallel_dir)
+        # Splitting actually fired (bootstrap runs everything fresh).
+        assert runtime is not None
+        assert runtime.split_pages > 0
+        assert runtime.split_parts >= 2 * runtime.split_pages
         assert runtime.pages == len(snaps[0])
 
 
